@@ -1,0 +1,149 @@
+//! Criterion micro-benchmarks for the BLTC building blocks.
+//!
+//! These benchmark the *real* host execution of each stage (wall time on
+//! the build machine) — unlike the figure harnesses, which report the
+//! calibrated device models. One group per pipeline stage plus ablations
+//! (MAC θ sweep, stream-count sweep on the simulated device).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bltc_core::charges::compute_charges_from_slices;
+use bltc_core::interp::barycentric::lagrange_values;
+use bltc_core::interp::chebyshev::ChebyshevGrid1D;
+use bltc_core::interp::tensor::TensorGrid;
+use bltc_core::kernel::{Coulomb, Yukawa};
+use bltc_core::prelude::*;
+use bltc_core::traversal::InteractionLists;
+use bltc_gpu::GpuEngine;
+use gpu_sim::DeviceSpec;
+use rcb::rcb_partition;
+
+fn bench_interpolation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpolation");
+    g.sample_size(30);
+    for degree in [4usize, 8, 12] {
+        let grid = ChebyshevGrid1D::canonical(degree);
+        let mut out = vec![0.0; grid.len()];
+        g.bench_with_input(BenchmarkId::new("lagrange_values", degree), &degree, |b, _| {
+            b.iter(|| {
+                lagrange_values(&grid, black_box(0.123456), &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_modified_charges(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modified_charges");
+    g.sample_size(20);
+    let ps = ParticleSet::random_cube(2000, 1);
+    let bbox = ps.bounding_box().unwrap();
+    for degree in [4usize, 8] {
+        let grid = TensorGrid::new(degree, &bbox);
+        g.bench_with_input(
+            BenchmarkId::new("cluster_2000", degree),
+            &degree,
+            |b, _| {
+                b.iter(|| {
+                    black_box(compute_charges_from_slices(
+                        &grid, &ps.x, &ps.y, &ps.z, &ps.q,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree");
+    g.sample_size(20);
+    let ps = ParticleSet::random_cube(20_000, 2);
+    let params = BltcParams::new(0.7, 4, 100, 100);
+    g.bench_function("build_20k", |b| {
+        b.iter(|| black_box(SourceTree::build(&ps, &params)))
+    });
+    let tree = SourceTree::build(&ps, &params);
+    let batches = TargetBatches::build(&ps, &params);
+    g.bench_function("traversal_20k", |b| {
+        b.iter(|| black_box(InteractionLists::build(&batches, &tree, &params)))
+    });
+    g.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engines");
+    g.sample_size(10);
+    let ps = ParticleSet::random_cube(4000, 3);
+    let params = BltcParams::new(0.8, 4, 80, 80);
+    g.bench_function("serial_coulomb_4k", |b| {
+        let e = SerialEngine::new(params);
+        b.iter(|| black_box(e.compute(&ps, &ps, &Coulomb)))
+    });
+    g.bench_function("serial_yukawa_4k", |b| {
+        let e = SerialEngine::new(params);
+        b.iter(|| black_box(e.compute(&ps, &ps, &Yukawa::default())))
+    });
+    g.bench_function("direct_sum_4k", |b| {
+        b.iter(|| black_box(direct_sum(&ps, &ps, &Coulomb)))
+    });
+    g.finish();
+}
+
+fn bench_mac_theta_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mac_theta");
+    g.sample_size(10);
+    let ps = ParticleSet::random_cube(4000, 4);
+    for theta in [5usize, 7, 9] {
+        let params = BltcParams::new(theta as f64 / 10.0, 4, 80, 80);
+        g.bench_with_input(BenchmarkId::new("serial", theta), &theta, |b, _| {
+            let e = SerialEngine::new(params);
+            b.iter(|| black_box(e.compute(&ps, &ps, &Coulomb)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gpu_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu_sim");
+    g.sample_size(10);
+    let ps = ParticleSet::random_cube(4000, 5);
+    let params = BltcParams::new(0.8, 4, 80, 80);
+    for streams in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("engine_streams", streams),
+            &streams,
+            |b, &s| {
+                let e = GpuEngine::with_spec(params, DeviceSpec::titan_v()).with_streams(s);
+                b.iter(|| black_box(e.compute(&ps, &ps, &Coulomb)))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rcb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rcb");
+    g.sample_size(20);
+    let ps = ParticleSet::random_cube(50_000, 6);
+    for parts in [4usize, 32] {
+        g.bench_with_input(BenchmarkId::new("partition_50k", parts), &parts, |b, &p| {
+            b.iter(|| black_box(rcb_partition(&ps, p, None)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interpolation,
+    bench_modified_charges,
+    bench_tree_build,
+    bench_engines,
+    bench_mac_theta_sweep,
+    bench_gpu_sim,
+    bench_rcb
+);
+criterion_main!(benches);

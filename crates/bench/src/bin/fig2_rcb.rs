@@ -1,0 +1,70 @@
+//! Fig. 2 — recursive coordinate bisection of the unit square into 4 and
+//! 6 partitions.
+//!
+//! Prints each part's region rectangle, its area (the paper reports 1/4
+//! and 1/6), and its particle count, plus an ASCII rendering of the cuts.
+//!
+//! ```text
+//! cargo run --release --bin fig2_rcb [-- --n 50000 --seed 1]
+//! ```
+
+use bltc_bench::Args;
+use bltc_core::geometry::{BoundingBox, Point3};
+use rcb::{rcb_partition, unit_square_cloud};
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.usize("n", 50_000);
+    let seed = args.usize("seed", 1) as u64;
+    let ps = unit_square_cloud(n, seed);
+    let domain = BoundingBox::new(Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 0.0));
+
+    println!("Fig. 2 — RCB of the unit square ({n} uniform particles, seed {seed})");
+    for &parts in &[4usize, 6] {
+        println!(
+            "\n({}) {parts} partitions — expected area per part: {:.4}",
+            if parts == 4 { 'a' } else { 'b' },
+            1.0 / parts as f64
+        );
+        let part = rcb_partition(&ps, parts, Some(domain));
+        println!("part       x-range            y-range        area    particles");
+        for p in 0..parts {
+            let r = &part.regions[p];
+            println!(
+                "{p:>4}   [{:.3}, {:.3}]   [{:.3}, {:.3}]   {:.4}   {:>8}",
+                r.min.x,
+                r.max.x,
+                r.min.y,
+                r.max.y,
+                r.extent(0) * r.extent(1),
+                part.part_size(p)
+            );
+        }
+        let (max, min) = part.balance();
+        println!("balance: min {min}, max {max} (ideal {})", n / parts);
+        render_ascii(&part.regions);
+    }
+}
+
+/// ASCII raster of the partition rectangles (part id per cell).
+fn render_ascii(regions: &[BoundingBox]) {
+    const W: usize = 48;
+    const H: usize = 16;
+    println!();
+    for row in 0..H {
+        let y = 1.0 - (row as f64 + 0.5) / H as f64; // top-down
+        let mut line = String::with_capacity(W);
+        for col in 0..W {
+            let x = (col as f64 + 0.5) / W as f64;
+            let id = regions
+                .iter()
+                .position(|r| x >= r.min.x && x <= r.max.x && y >= r.min.y && y <= r.max.y)
+                .unwrap_or(usize::MAX);
+            line.push(match id {
+                usize::MAX => '?',
+                i => char::from_digit(i as u32 % 10, 10).unwrap(),
+            });
+        }
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Fig. 5 — weak scaling of the distributed GPU BLTC: fixed particles
+//! per GPU, ranks 1 → 32, Coulomb and Yukawa, three per-GPU sizes.
+//!
+//! Paper configuration: 8/16/32 M particles per P100, θ = 0.8, n = 8,
+//! `N_L = N_B = 4000`; largest run 1.024 B particles (345 s Coulomb,
+//! 380 s Yukawa, errors 7.6e-6 / 1.5e-5).
+//!
+//! Scaled default: 8k/16k/32k particles per rank with n = 4 and
+//! `N_L = N_B = 1000` (the `(n+1)³ = 729` proxy grid of the paper's
+//! n = 8 would exceed a scaled-down leaf, disabling approximation
+//! entirely, and batches below ~1000 targets leave the simulated GPU
+//! launch-bound — see EXPERIMENTS.md). Run times are the bulk-synchronous model:
+//! max-over-ranks of (setup + precompute + compute).
+//!
+//! ```text
+//! cargo run --release --bin fig5_weak [-- --per-rank 4000 --max-ranks 32]
+//! ```
+
+use bltc_bench::{sci, Args};
+use bltc_core::engine::direct_sum_subset;
+use bltc_core::error::{sample_indices, sampled_relative_l2_error};
+use bltc_core::kernel::{Coulomb, Kernel, Yukawa};
+use bltc_core::prelude::*;
+use bltc_dist::{run_distributed, DistConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let base = args.usize("per-rank", 8_000);
+    let max_ranks = args.usize("max-ranks", 16);
+    let theta = args.f64("theta", 0.8);
+    let degree = args.usize("degree", 4);
+    let cap = args.usize("cap", 1000);
+    let seed = args.usize("seed", 11) as u64;
+    let params = BltcParams::new(theta, degree, cap, cap);
+
+    println!("Fig. 5 — weak scaling (θ = {theta}, n = {degree}, N_L = N_B = {cap})");
+    println!("per-rank sizes: {base}, {}, {} (paper: 8M, 16M, 32M)\n", 2 * base, 4 * base);
+
+    let kernels: Vec<Box<dyn Kernel>> = vec![Box::new(Coulomb), Box::new(Yukawa::default())];
+    let mut ranks_list = vec![1usize];
+    while *ranks_list.last().unwrap() < max_ranks {
+        ranks_list.push(ranks_list.last().unwrap() * 2);
+    }
+
+    for kernel in &kernels {
+        println!("== {} ==", kernel.name());
+        println!("per-rank      ranks    N_total     t_total(s)   setup%  precomp%  compute%");
+        for &mult in &[1usize, 2, 4] {
+            let per_rank = base * mult;
+            let mut largest: Option<(usize, f64, f64)> = None;
+            for &ranks in &ranks_list {
+                let n = per_rank * ranks;
+                let ps = ParticleSet::random_cube(n, seed + ranks as u64);
+                let cfg = DistConfig::comet(params);
+                let rep = run_distributed(&ps, ranks, &cfg, kernel.as_ref());
+                let total = rep.total_s;
+                let phase_sum = rep.setup_s + rep.precompute_s + rep.compute_s;
+                println!(
+                    "{per_rank:>8}  {ranks:>8}  {n:>9}  {:>12}  {:>6.1}  {:>8.1}  {:>8.1}",
+                    sci(total),
+                    100.0 * rep.setup_s / phase_sum,
+                    100.0 * rep.precompute_s / phase_sum,
+                    100.0 * rep.compute_s / phase_sum,
+                );
+                if ranks == *ranks_list.last().unwrap() {
+                    // Sampled error of the largest configuration (paper
+                    // reports 7.6e-6 / 1.5e-5 at 1.024B).
+                    let idx = sample_indices(n, 200, seed);
+                    let exact = direct_sum_subset(&ps, &idx, &ps, kernel.as_ref());
+                    let err = sampled_relative_l2_error(&exact, &rep.potentials, &idx);
+                    largest = Some((n, total, err));
+                }
+            }
+            if let Some((n, total, err)) = largest {
+                println!(
+                    "  largest {} system: N = {n}, t = {} s, sampled error = {}",
+                    kernel.name(),
+                    sci(total),
+                    sci(err)
+                );
+            }
+        }
+        println!();
+    }
+    println!("paper shape checks:");
+    println!("  - run time grows only modestly with rank count at fixed per-rank N (O(N log N))");
+    println!("  - Yukawa times sit slightly above Coulomb times");
+    println!("  - errors stay in the 4-6 digit band of the chosen (θ, n)");
+}

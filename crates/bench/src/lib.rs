@@ -1,0 +1,135 @@
+//! # bltc-bench — figure-regeneration harnesses
+//!
+//! One binary per table/figure of the paper's evaluation (§4):
+//!
+//! | binary             | reproduces |
+//! |--------------------|------------|
+//! | `fig2_rcb`         | Fig. 2 — RCB of the unit square, 4 & 6 parts |
+//! | `fig4_accuracy`    | Fig. 4 — run time vs error, CPU vs GPU, Coulomb & Yukawa |
+//! | `fig5_weak`        | Fig. 5 — weak scaling, 1→32 GPUs |
+//! | `fig6_strong`      | Fig. 6 — strong scaling + phase breakdown |
+//! | `ablation_streams` | §3.2 — async-stream ablation (~25% claim) |
+//!
+//! Default problem sizes are scaled to a single-core container (the paper
+//! ran 1M–1B particles on Titan V / 32×P100); every binary takes `--n`
+//! style flags to raise them. Times on the GPU side are the `gpu-sim`
+//! modeled clock; CPU-side times are modeled through
+//! [`bltc_core::cost::CpuSpec`] so the two are comparable (see
+//! EXPERIMENTS.md for the calibration discussion).
+//!
+//! Criterion micro-benchmarks live in `benches/microbench.rs`.
+
+use bltc_core::cost::{CpuSpec, OpCounts};
+use bltc_core::kernel::Kernel;
+
+/// Tiny argument parser: `--key value` pairs with typed lookup.
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parse `std::env::args()` (skipping the binary name).
+    pub fn from_env() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_vec(argv)
+    }
+
+    /// Parse an explicit vector (for tests).
+    pub fn from_vec(argv: Vec<String>) -> Self {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let k = argv[i].trim_start_matches('-').to_string();
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                pairs.push((k, argv[i + 1].clone()));
+                i += 2;
+            } else {
+                pairs.push((k, String::from("true")));
+                i += 1;
+            }
+        }
+        Self { pairs }
+    }
+
+    /// Look up a `usize` flag.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --{key}: {v}")))
+            .unwrap_or(default)
+    }
+
+    /// Look up an `f64` flag.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --{key}: {v}")))
+            .unwrap_or(default)
+    }
+
+    /// Look up a boolean flag (present ⇒ true).
+    pub fn flag(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn get(&self, key: &str) -> Option<&String> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Modeled CPU run time of a treecode evaluation on the paper's 6-core
+/// Xeon X5650 baseline: compute + precompute flops through the CPU spec,
+/// plus the (host-model) setup seconds supplied by the caller.
+pub fn cpu_modeled_seconds(
+    ops: &OpCounts,
+    kernel: &dyn Kernel,
+    setup_seconds: f64,
+    cpu: &CpuSpec,
+) -> f64 {
+    let flops = ops.compute_flops(kernel, false) + ops.precompute_flops();
+    setup_seconds + cpu.seconds(flops)
+}
+
+/// Scientific-notation formatting for table cells.
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    format!("{v:9.3e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bltc_core::kernel::Coulomb;
+
+    #[test]
+    fn args_parse_pairs_and_flags() {
+        let a = Args::from_vec(vec![
+            "--n".into(),
+            "5000".into(),
+            "--theta".into(),
+            "0.7".into(),
+            "--full".into(),
+        ]);
+        assert_eq!(a.usize("n", 1), 5000);
+        assert!((a.f64("theta", 0.0) - 0.7).abs() < 1e-12);
+        assert!(a.flag("full"));
+        assert!(!a.flag("missing"));
+        assert_eq!(a.usize("absent", 7), 7);
+    }
+
+    #[test]
+    fn cpu_model_monotone_in_ops() {
+        let cpu = CpuSpec::xeon_x5650();
+        let small = OpCounts {
+            direct_interactions: 1_000,
+            ..Default::default()
+        };
+        let big = OpCounts {
+            direct_interactions: 1_000_000,
+            ..Default::default()
+        };
+        let ts = cpu_modeled_seconds(&small, &Coulomb, 0.0, &cpu);
+        let tb = cpu_modeled_seconds(&big, &Coulomb, 0.0, &cpu);
+        assert!(tb > ts * 100.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Error measurement (Eq. 16): the relative 2-norm between potentials
+//! computed by direct summation and by the treecode. For large systems
+//! the paper samples a random subset of targets; `sampled_relative_l2_error`
+//! reproduces that.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative 2-norm error `‖φ_ds − φ_tc‖₂ / ‖φ_ds‖₂` (Eq. 16).
+///
+/// Panics on length mismatch; returns 0 for two all-zero vectors.
+pub fn relative_l2_error(exact: &[f64], approx: &[f64]) -> f64 {
+    assert_eq!(exact.len(), approx.len(), "length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (e, a) in exact.iter().zip(approx) {
+        num += (e - a) * (e - a);
+        den += e * e;
+    }
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Choose `samples` distinct target indices uniformly at random (seeded),
+/// for error sampling on systems too large to direct-sum in full (§4).
+pub fn sample_indices(n: usize, samples: usize, seed: u64) -> Vec<usize> {
+    let samples = samples.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Partial Fisher–Yates over an index vector.
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..samples {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(samples);
+    idx
+}
+
+/// Relative 2-norm error restricted to `indices`: `exact` holds values at
+/// the sampled targets only (in `indices` order), `approx_full` holds the
+/// full treecode result.
+pub fn sampled_relative_l2_error(exact_at_samples: &[f64], approx_full: &[f64], indices: &[usize]) -> f64 {
+    assert_eq!(exact_at_samples.len(), indices.len(), "sample length mismatch");
+    let approx_at: Vec<f64> = indices.iter().map(|&i| approx_full[i]).collect();
+    relative_l2_error(exact_at_samples, &approx_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_for_identical_vectors() {
+        let v = vec![1.0, -2.0, 3.5];
+        assert_eq!(relative_l2_error(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn known_error_value() {
+        let e = vec![3.0, 4.0];
+        let a = vec![3.0, 4.5];
+        // ‖(0, -0.5)‖ / ‖(3,4)‖ = 0.5 / 5 = 0.1
+        assert!((relative_l2_error(&e, &a) - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_reference_edge_cases() {
+        assert_eq!(relative_l2_error(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert_eq!(relative_l2_error(&[0.0], &[1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = relative_l2_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sample_indices_distinct_in_range_deterministic() {
+        let s1 = sample_indices(1000, 100, 9);
+        let s2 = sample_indices(1000, 100, 9);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 100);
+        let mut sorted = s1.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100, "indices must be distinct");
+        assert!(sorted.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn sample_indices_clamps_to_n() {
+        let s = sample_indices(5, 100, 1);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn sampled_error_matches_full_error_on_full_sample() {
+        let exact = vec![1.0, 2.0, 3.0, 4.0];
+        let approx = vec![1.1, 2.0, 2.9, 4.0];
+        let indices: Vec<usize> = (0..4).collect();
+        let full = relative_l2_error(&exact, &approx);
+        let sampled = sampled_relative_l2_error(&exact, &approx, &indices);
+        assert!((full - sampled).abs() < 1e-15);
+    }
+}

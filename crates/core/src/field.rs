@@ -1,0 +1,239 @@
+//! Potential **and gradient** evaluation — forces.
+//!
+//! Applications (MD, gravity, Poisson–Boltzmann) usually need
+//! `E = -∇φ` alongside `φ`. The barycentric approximation
+//! differentiates trivially with respect to the *target*: in
+//! `φ(x) ≈ Σ_k G(x, s_k) q̂_k` only the kernel depends on `x`, so
+//! `∇φ(x) ≈ Σ_k ∇_x G(x, s_k) q̂_k` — the same modified charges, the
+//! same interaction lists, the same direct-sum structure; just a kernel
+//! with four outputs. (This is the kernel-independent counterpart of
+//! what expansion-based treecodes obtain from recurrence relations.)
+
+use rayon::prelude::*;
+
+use crate::engine::PreparedTreecode;
+use crate::kernel::GradientKernel;
+use crate::particles::ParticleSet;
+
+/// Potentials and their gradients at every target, in original target
+/// order. The force on charge `q_i` is `-q_i · (gx, gy, gz)[i]`.
+#[derive(Debug, Clone)]
+pub struct FieldResult {
+    /// Potentials `φ(x_i)`.
+    pub potentials: Vec<f64>,
+    /// `∂φ/∂x`.
+    pub gx: Vec<f64>,
+    /// `∂φ/∂y`.
+    pub gy: Vec<f64>,
+    /// `∂φ/∂z`.
+    pub gz: Vec<f64>,
+}
+
+impl PreparedTreecode {
+    /// Evaluate potentials and gradients serially over the interaction
+    /// lists (same preparation as potential-only evaluation — the
+    /// modified charges are shared).
+    pub fn evaluate_field(&self, kernel: &dyn GradientKernel) -> FieldResult {
+        let tp = self.batches.particles();
+        let n = tp.len();
+        let mut pot = vec![0.0; n];
+        let mut gx = vec![0.0; n];
+        let mut gy = vec![0.0; n];
+        let mut gz = vec![0.0; n];
+
+        let sp = self.tree.particles();
+        for (b, bl) in self.batches.batches().iter().zip(&self.lists.per_batch) {
+            // Approximation path: proxies with modified charges.
+            for &ci in &bl.approx {
+                let ci = ci as usize;
+                let grid = self.charges.grid(ci);
+                let qhat = self.charges.charges(ci);
+                assert!(!qhat.is_empty(), "charges missing for cluster {ci}");
+                for t in b.start..b.end {
+                    let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
+                    let (mut p, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
+                    for (k, &qh) in qhat.iter().enumerate() {
+                        let s = grid.point_linear(k);
+                        let (g, dgx, dgy, dgz) =
+                            kernel.eval_with_grad(tx - s.x, ty - s.y, tz - s.z);
+                        p += g * qh;
+                        ax += dgx * qh;
+                        ay += dgy * qh;
+                        az += dgz * qh;
+                    }
+                    pot[t] += p;
+                    gx[t] += ax;
+                    gy[t] += ay;
+                    gz[t] += az;
+                }
+            }
+            // Direct path: cluster sources.
+            for &ci in &bl.direct {
+                let node = self.tree.node(ci as usize);
+                for t in b.start..b.end {
+                    let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
+                    let (mut p, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
+                    for j in node.start..node.end {
+                        let (g, dgx, dgy, dgz) =
+                            kernel.eval_with_grad(tx - sp.x[j], ty - sp.y[j], tz - sp.z[j]);
+                        p += g * sp.q[j];
+                        ax += dgx * sp.q[j];
+                        ay += dgy * sp.q[j];
+                        az += dgz * sp.q[j];
+                    }
+                    pot[t] += p;
+                    gx[t] += ax;
+                    gy[t] += ay;
+                    gz[t] += az;
+                }
+            }
+        }
+
+        FieldResult {
+            potentials: self.batches.scatter_to_original(&pot),
+            gx: self.batches.scatter_to_original(&gx),
+            gy: self.batches.scatter_to_original(&gy),
+            gz: self.batches.scatter_to_original(&gz),
+        }
+    }
+}
+
+/// Direct summation of potentials and gradients — the `O(N²)` reference.
+pub fn direct_sum_field(
+    targets: &ParticleSet,
+    sources: &ParticleSet,
+    kernel: &dyn GradientKernel,
+) -> FieldResult {
+    let n = targets.len();
+    let rows: Vec<(f64, f64, f64, f64)> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let (tx, ty, tz) = (targets.x[i], targets.y[i], targets.z[i]);
+            let (mut p, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
+            for j in 0..sources.len() {
+                let (g, dgx, dgy, dgz) =
+                    kernel.eval_with_grad(tx - sources.x[j], ty - sources.y[j], tz - sources.z[j]);
+                p += g * sources.q[j];
+                ax += dgx * sources.q[j];
+                ay += dgy * sources.q[j];
+                az += dgz * sources.q[j];
+            }
+            (p, ax, ay, az)
+        })
+        .collect();
+    let mut out = FieldResult {
+        potentials: Vec::with_capacity(n),
+        gx: Vec::with_capacity(n),
+        gy: Vec::with_capacity(n),
+        gz: Vec::with_capacity(n),
+    };
+    for (p, ax, ay, az) in rows {
+        out.potentials.push(p);
+        out.gx.push(ax);
+        out.gy.push(ay);
+        out.gz.push(az);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BltcParams;
+    use crate::engine::direct_sum;
+    use crate::error::relative_l2_error;
+    use crate::geometry::Point3;
+    use crate::kernel::{Coulomb, Gaussian, RegularizedCoulomb, Yukawa};
+
+    /// Analytic gradients must match central finite differences of the
+    /// potential for every built-in kernel.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let kernels: Vec<Box<dyn GradientKernel>> = vec![
+            Box::new(Coulomb),
+            Box::new(Yukawa::new(0.7)),
+            Box::new(RegularizedCoulomb::new(0.1)),
+            Box::new(Gaussian::new(1.3)),
+        ];
+        let h = 1e-6;
+        for k in &kernels {
+            for &(dx, dy, dz) in &[(0.8, -0.3, 0.5), (2.0, 1.0, -1.5), (0.1, 0.1, 0.1)] {
+                let (_, gx, gy, gz) = k.eval_with_grad(dx, dy, dz);
+                let fd_x = (k.eval(dx + h, dy, dz) - k.eval(dx - h, dy, dz)) / (2.0 * h);
+                let fd_y = (k.eval(dx, dy + h, dz) - k.eval(dx, dy - h, dz)) / (2.0 * h);
+                let fd_z = (k.eval(dx, dy, dz + h) - k.eval(dx, dy, dz - h)) / (2.0 * h);
+                let scale = gx.abs().max(gy.abs()).max(gz.abs()).max(1e-10);
+                assert!((gx - fd_x).abs() / scale < 1e-5, "{}: d/dx", k.name());
+                assert!((gy - fd_y).abs() / scale < 1e-5, "{}: d/dy", k.name());
+                assert!((gz - fd_z).abs() / scale < 1e-5, "{}: d/dz", k.name());
+            }
+        }
+    }
+
+    #[test]
+    fn treecode_field_matches_direct_field() {
+        let ps = ParticleSet::random_cube(2500, 500);
+        let params = BltcParams::new(0.7, 7, 120, 120);
+        let prep = PreparedTreecode::new(&ps, &ps, params);
+        let tc = prep.evaluate_field(&Coulomb);
+        let ds = direct_sum_field(&ps, &ps, &Coulomb);
+        assert!(relative_l2_error(&ds.potentials, &tc.potentials) < 1e-4);
+        // Gradients converge one order slower than potentials; still
+        // well within usable force accuracy at n = 7.
+        assert!(relative_l2_error(&ds.gx, &tc.gx) < 1e-3, "gx");
+        assert!(relative_l2_error(&ds.gy, &tc.gy) < 1e-3, "gy");
+        assert!(relative_l2_error(&ds.gz, &tc.gz) < 1e-3, "gz");
+    }
+
+    #[test]
+    fn field_potentials_match_potential_only_path() {
+        let ps = ParticleSet::random_cube(1500, 501);
+        let params = BltcParams::new(0.8, 5, 100, 100);
+        let prep = PreparedTreecode::new(&ps, &ps, params);
+        let (pot_only, _) = prep.evaluate_serial(&Coulomb);
+        let field = prep.evaluate_field(&Coulomb);
+        // Same lists, same charges, same order ⇒ bitwise equal.
+        assert_eq!(pot_only, field.potentials);
+    }
+
+    #[test]
+    fn field_error_decreases_with_degree() {
+        let ps = ParticleSet::random_cube(2000, 502);
+        let ds = direct_sum_field(&ps, &ps, &Yukawa::default());
+        let mut prev = f64::INFINITY;
+        // Same (θ, caps) as the engine's degree-sweep test: deep tree,
+        // approximation active at every degree.
+        for degree in [1usize, 3, 5, 7] {
+            let params = BltcParams::new(0.8, degree, 120, 120);
+            let prep = PreparedTreecode::new(&ps, &ps, params);
+            let tc = prep.evaluate_field(&Yukawa::default());
+            let err = relative_l2_error(&ds.gx, &tc.gx);
+            assert!(err < prev, "degree {degree}: {err} !< {prev}");
+            prev = err;
+        }
+        assert!(prev < 1e-4);
+    }
+
+    #[test]
+    fn single_charge_field_is_radial() {
+        // One unit charge at the origin: E = -∇φ points outward with
+        // magnitude 1/r².
+        let mut sources = ParticleSet::default();
+        sources.push(Point3::new(0.0, 0.0, 0.0), 1.0);
+        let mut targets = ParticleSet::default();
+        targets.push(Point3::new(2.0, 0.0, 0.0), 0.0);
+        targets.push(Point3::new(0.0, -3.0, 0.0), 0.0);
+        let f = direct_sum_field(&targets, &sources, &Coulomb);
+        assert!((f.gx[0] + 0.25).abs() < 1e-12, "∂φ/∂x = -1/4 at (2,0,0)");
+        assert_eq!(f.gy[0], 0.0);
+        assert!((f.gy[1] - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_field_potentials_match_direct_sum() {
+        let ps = ParticleSet::random_cube(600, 503);
+        let f = direct_sum_field(&ps, &ps, &Coulomb);
+        let p = direct_sum(&ps, &ps, &Coulomb);
+        assert_eq!(f.potentials, p);
+    }
+}

@@ -1,0 +1,239 @@
+//! Stable evaluation of the Lagrange basis in barycentric form (Eq. 4),
+//! with explicit handling of the removable singularities (Eq. 5, §2.3).
+//!
+//! The basis value is the quotient `L_k(x) = (w_k / (x - s_k)) / Σ_k' w_k'
+//! / (x - s_k')`. When `x` coincides with a node `s_k'` both numerator and
+//! denominator blow up; the limit is `δ_{kk'}`. Following the paper we
+//! detect coincidence to within the smallest positive normal double
+//! (`f64::MIN_POSITIVE`) and enforce `L_k = δ_{kk'}` exactly. Because
+//! clusters use *minimal* bounding boxes, source particles on box faces
+//! always hit the endpoint nodes, so this path is exercised on every
+//! cluster, not just in pathological inputs.
+
+use super::chebyshev::ChebyshevGrid1D;
+
+/// Coincidence tolerance from §2.3: the smallest positive normal `f64`.
+pub const SINGULARITY_TOL: f64 = f64::MIN_POSITIVE;
+
+/// Outcome of scanning a 1D evaluation point against a grid: either the
+/// point is away from every node (keep the inverse of the barycentric
+/// denominator), or it coincides with node `index` (the basis collapses to
+/// a Kronecker delta).
+///
+/// This is the per-dimension building block of the two-phase modified
+/// charge computation (Eq. 14–15): phase 1 multiplies the regular inverse
+/// denominators into `q̃_j`, phase 2 multiplies the per-node terms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DimEval {
+    /// `x` is distinct from all nodes; holds `1 / Σ_k w_k / (x - s_k)`.
+    Regular { inv_denom: f64 },
+    /// `x` coincides with node `index`; the basis is `e_index`.
+    Exact { index: usize },
+}
+
+/// Scan `x` against the grid: detect node coincidence and, failing that,
+/// accumulate the barycentric denominator.
+pub fn dim_eval(grid: &ChebyshevGrid1D, x: f64) -> DimEval {
+    let mut denom = 0.0;
+    for k in 0..grid.len() {
+        let diff = x - grid.node(k);
+        if diff.abs() < SINGULARITY_TOL {
+            return DimEval::Exact { index: k };
+        }
+        denom += grid.weight(k) / diff;
+    }
+    DimEval::Regular {
+        inv_denom: 1.0 / denom,
+    }
+}
+
+/// The phase-2 per-node term: `w_k / (x - s_k)` in the regular case, the
+/// Kronecker delta `δ_{k,index}` in the coincident case.
+///
+/// Multiplying this by the phase-1 factor of [`phase1_factor`] yields the
+/// basis value `L_k(x)`.
+#[inline]
+pub fn dim_term(grid: &ChebyshevGrid1D, eval: &DimEval, k: usize, x: f64) -> f64 {
+    match *eval {
+        DimEval::Regular { .. } => grid.weight(k) / (x - grid.node(k)),
+        DimEval::Exact { index } => {
+            if k == index {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// The phase-1 factor contributed by one dimension: the inverse
+/// denominator for a regular point, `1` for a coincident point (whose
+/// basis is already normalized by the delta).
+#[inline]
+pub fn phase1_factor(eval: &DimEval) -> f64 {
+    match *eval {
+        DimEval::Regular { inv_denom } => inv_denom,
+        DimEval::Exact { .. } => 1.0,
+    }
+}
+
+/// Evaluate all `n + 1` Lagrange basis values `L_k(x)` into `out`.
+///
+/// `out.len()` must equal `grid.len()`. Values sum to 1 (the basis is a
+/// partition of unity) up to rounding.
+pub fn lagrange_values(grid: &ChebyshevGrid1D, x: f64, out: &mut [f64]) {
+    assert_eq!(out.len(), grid.len(), "output slice length mismatch");
+    let eval = dim_eval(grid, x);
+    let p1 = phase1_factor(&eval);
+    for (k, slot) in out.iter_mut().enumerate() {
+        *slot = dim_term(grid, &eval, k, x) * p1;
+    }
+}
+
+/// Interpolate a function given by its node values `f_at_nodes` at `x`,
+/// i.e. evaluate `p_n(x) = Σ_k f(s_k) L_k(x)` (Eq. 3).
+pub fn interpolate(grid: &ChebyshevGrid1D, f_at_nodes: &[f64], x: f64) -> f64 {
+    assert_eq!(f_at_nodes.len(), grid.len(), "node value length mismatch");
+    match dim_eval(grid, x) {
+        DimEval::Exact { index } => f_at_nodes[index],
+        DimEval::Regular { inv_denom } => {
+            let mut num = 0.0;
+            for k in 0..grid.len() {
+                num += grid.weight(k) / (x - grid.node(k)) * f_at_nodes[k];
+            }
+            num * inv_denom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> ChebyshevGrid1D {
+        ChebyshevGrid1D::canonical(n)
+    }
+
+    #[test]
+    fn basis_is_kronecker_at_nodes() {
+        let g = grid(6);
+        let mut vals = vec![0.0; g.len()];
+        for j in 0..g.len() {
+            lagrange_values(&g, g.node(j), &mut vals);
+            for (k, &v) in vals.iter().enumerate() {
+                let expect = if k == j { 1.0 } else { 0.0 };
+                assert_eq!(v, expect, "L_{k}(s_{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn basis_partition_of_unity() {
+        let g = grid(9);
+        let mut vals = vec![0.0; g.len()];
+        for &x in &[-0.95, -0.5, 0.0, 0.123456789, 0.77, 0.999] {
+            lagrange_values(&g, x, &mut vals);
+            let sum: f64 = vals.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "sum of basis at {x} = {sum}");
+        }
+    }
+
+    #[test]
+    fn interpolates_polynomials_exactly() {
+        // Degree-n interpolation reproduces degree-<=n polynomials.
+        let g = grid(5);
+        let poly = |x: f64| 3.0 - 2.0 * x + 0.5 * x.powi(3) - 1.25 * x.powi(5);
+        let node_vals: Vec<f64> = g.nodes().iter().map(|&s| poly(s)).collect();
+        for &x in &[-1.0, -0.83, -0.2, 0.0, 0.41, 0.9, 1.0] {
+            let p = interpolate(&g, &node_vals, x);
+            assert!(
+                (p - poly(x)).abs() < 1e-12,
+                "poly reproduction failed at {x}: {p} vs {}",
+                poly(x)
+            );
+        }
+    }
+
+    #[test]
+    fn interpolation_converges_for_smooth_function() {
+        // Error should decrease (fast) with degree for e^x.
+        let f = |x: f64| x.exp();
+        let sample: Vec<f64> = (0..101).map(|i| -1.0 + 0.02 * i as f64).collect();
+        let mut prev_err = f64::INFINITY;
+        for n in [2, 4, 8, 16] {
+            let g = grid(n);
+            let node_vals: Vec<f64> = g.nodes().iter().map(|&s| f(s)).collect();
+            let err: f64 = sample
+                .iter()
+                .map(|&x| (interpolate(&g, &node_vals, x) - f(x)).abs())
+                .fold(0.0, f64::max);
+            assert!(err < prev_err, "degree {n} err {err} !< {prev_err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-12, "degree-16 error too large: {prev_err}");
+    }
+
+    #[test]
+    fn dim_eval_detects_exact_hits() {
+        let g = grid(4);
+        for j in 0..g.len() {
+            match dim_eval(&g, g.node(j)) {
+                DimEval::Exact { index } => assert_eq!(index, j),
+                other => panic!("expected exact hit at node {j}, got {other:?}"),
+            }
+        }
+        match dim_eval(&g, 0.3333) {
+            DimEval::Regular { inv_denom } => assert!(inv_denom.is_finite()),
+            other => panic!("expected regular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dim_term_times_phase1_equals_basis() {
+        let g = grid(7);
+        let x = 0.2718281828;
+        let eval = dim_eval(&g, x);
+        let p1 = phase1_factor(&eval);
+        let mut vals = vec![0.0; g.len()];
+        lagrange_values(&g, x, &mut vals);
+        for k in 0..g.len() {
+            let composed = dim_term(&g, &eval, k, x) * p1;
+            assert!((composed - vals[k]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn degenerate_grid_exact_hit_takes_first_node() {
+        // All nodes coincide; the scan must return the first index rather
+        // than dividing by zero.
+        let g = ChebyshevGrid1D::new(3, 1.0, 1.0);
+        match dim_eval(&g, 1.0) {
+            DimEval::Exact { index } => assert_eq!(index, 0),
+            other => panic!("expected exact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interpolate_at_node_returns_node_value() {
+        let g = grid(3);
+        let vals = [10.0, 20.0, 30.0, 40.0];
+        for j in 0..g.len() {
+            assert_eq!(interpolate(&g, &vals, g.node(j)), vals[j]);
+        }
+    }
+
+    #[test]
+    fn basis_values_near_node_are_stable() {
+        // A point one ulp away from a node must not produce NaN/inf and
+        // must stay close to the Kronecker limit.
+        let g = grid(8);
+        let s = g.node(3);
+        let x = f64::from_bits(s.to_bits() + 1);
+        let mut vals = vec![0.0; g.len()];
+        lagrange_values(&g, x, &mut vals);
+        for &v in &vals {
+            assert!(v.is_finite());
+        }
+        assert!((vals[3] - 1.0).abs() < 1e-8, "L_3 = {}", vals[3]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Chebyshev points of the second kind and their barycentric weights.
+//!
+//! On `[-1, 1]` the points are `s_k = cos(kπ/n)`, `k = 0..=n` (Eq. 6), and
+//! the barycentric weights reduce to the closed form `w_k = (-1)^k δ_k`
+//! with `δ_k = 1/2` at the two endpoints (Eq. 7). The weights are
+//! invariant under affine interval maps (a common scale factor cancels in
+//! the barycentric quotient), so mapping to `[a, b]` only moves the nodes.
+
+/// A 1D Chebyshev grid of degree `n` (`n + 1` nodes) on an interval.
+///
+/// Nodes are stored in the natural `k = 0..=n` order, i.e. *descending*
+/// coordinates from `b` down to `a` (because `cos` decreases on `[0, π]`).
+/// The two interval endpoints are set exactly so that particles on the
+/// faces of a minimal bounding box coincide bit-for-bit with the endpoint
+/// nodes — this is what makes the removable-singularity path deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChebyshevGrid1D {
+    degree: usize,
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl ChebyshevGrid1D {
+    /// Build the grid of `degree >= 1` on `[a, b]` (`a <= b`; a degenerate
+    /// interval `a == b` is legal and collapses every node onto `a`).
+    pub fn new(degree: usize, a: f64, b: f64) -> Self {
+        assert!(degree >= 1, "interpolation degree must be at least 1");
+        assert!(a.is_finite() && b.is_finite(), "non-finite interval");
+        assert!(a <= b, "inverted interval [{a}, {b}]");
+        let n = degree;
+        let mid = 0.5 * (a + b);
+        let half = 0.5 * (b - a);
+        let mut nodes = Vec::with_capacity(n + 1);
+        for k in 0..=n {
+            let s = if k == 0 {
+                b // cos(0) = 1 exactly; pin to the endpoint bit-for-bit
+            } else if k == n {
+                a // cos(π) = -1; pin to the endpoint bit-for-bit
+            } else {
+                let theta = std::f64::consts::PI * k as f64 / n as f64;
+                mid + half * theta.cos()
+            };
+            nodes.push(s);
+        }
+        let mut weights = Vec::with_capacity(n + 1);
+        for k in 0..=n {
+            let delta = if k == 0 || k == n { 0.5 } else { 1.0 };
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            weights.push(sign * delta);
+        }
+        Self {
+            degree: n,
+            nodes,
+            weights,
+        }
+    }
+
+    /// Grid on the canonical interval `[-1, 1]`.
+    pub fn canonical(degree: usize) -> Self {
+        Self::new(degree, -1.0, 1.0)
+    }
+
+    /// Interpolation degree `n`; the grid has `n + 1` nodes.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of nodes, `n + 1`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.degree + 1
+    }
+
+    /// Always false: a grid has at least 2 nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `k`-th node.
+    #[inline]
+    pub fn node(&self, k: usize) -> f64 {
+        self.nodes[k]
+    }
+
+    /// All nodes in `k = 0..=n` order (descending coordinate).
+    #[inline]
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// The `k`-th barycentric weight `(-1)^k δ_k`.
+    #[inline]
+    pub fn weight(&self, k: usize) -> f64 {
+        self.weights[k]
+    }
+
+    /// All barycentric weights.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_nodes_match_cosine_formula() {
+        let g = ChebyshevGrid1D::canonical(8);
+        assert_eq!(g.len(), 9);
+        for k in 0..=8 {
+            let expect = (std::f64::consts::PI * k as f64 / 8.0).cos();
+            assert!(
+                (g.node(k) - expect).abs() < 1e-15,
+                "node {k}: {} vs {expect}",
+                g.node(k)
+            );
+        }
+        // Endpoints are exact.
+        assert_eq!(g.node(0), 1.0);
+        assert_eq!(g.node(8), -1.0);
+    }
+
+    #[test]
+    fn nodes_descend_and_are_symmetric() {
+        let g = ChebyshevGrid1D::canonical(10);
+        for k in 1..g.len() {
+            assert!(g.node(k) < g.node(k - 1));
+        }
+        for k in 0..=10 {
+            assert!(
+                (g.node(k) + g.node(10 - k)).abs() < 1e-15,
+                "symmetry violated at {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_alternate_with_halved_endpoints() {
+        let g = ChebyshevGrid1D::canonical(5);
+        assert_eq!(g.weights(), &[0.5, -1.0, 1.0, -1.0, 1.0, -0.5]);
+    }
+
+    #[test]
+    fn mapped_interval_pins_endpoints_exactly() {
+        let (a, b) = (0.1, 0.7300000000000001);
+        let g = ChebyshevGrid1D::new(7, a, b);
+        assert_eq!(g.node(0), b);
+        assert_eq!(g.node(7), a);
+        for k in 0..g.len() {
+            assert!(g.node(k) >= a && g.node(k) <= b);
+        }
+    }
+
+    #[test]
+    fn degenerate_interval_collapses_nodes() {
+        let g = ChebyshevGrid1D::new(4, 2.5, 2.5);
+        for k in 0..g.len() {
+            assert_eq!(g.node(k), 2.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be at least 1")]
+    fn degree_zero_panics() {
+        let _ = ChebyshevGrid1D::canonical(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted interval")]
+    fn inverted_interval_panics() {
+        let _ = ChebyshevGrid1D::new(3, 1.0, 0.0);
+    }
+
+    #[test]
+    fn degree_one_is_endpoints() {
+        let g = ChebyshevGrid1D::new(1, -3.0, 5.0);
+        assert_eq!(g.nodes(), &[5.0, -3.0]);
+        assert_eq!(g.weights(), &[0.5, -0.5]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Barycentric Lagrange interpolation at Chebyshev points of the 2nd kind.
+//!
+//! Three layers:
+//! - [`chebyshev`] — 1D node sets `s_k = cos(kπ/n)` mapped to an interval,
+//!   with the closed-form barycentric weights `w_k = (-1)^k δ_k` (Eq. 6–7),
+//! - [`barycentric`] — stable evaluation of the Lagrange basis in
+//!   barycentric form (Eq. 4) with explicit removable-singularity handling
+//!   (Eq. 5, §2.3),
+//! - [`tensor`] — the `(n+1)^3` tensor-product grid over a cluster box
+//!   used by the 3D kernel approximation (Eq. 8).
+
+pub mod barycentric;
+pub mod chebyshev;
+pub mod tensor;

@@ -1,0 +1,442 @@
+//! Interaction kernels `G(x, y)`.
+//!
+//! The treecode is *kernel-independent*: it needs only point evaluations
+//! of `G`, never kernel-specific expansions. Any non-oscillatory kernel
+//! that is smooth for `x ≠ y` works. The paper evaluates the Coulomb and
+//! Yukawa potentials; we also ship a regularized Coulomb and a Gaussian to
+//! exercise the kernel-independence claim (and to give the examples some
+//! physical variety).
+//!
+//! ## Singularity policy
+//!
+//! For singular kernels the self-interaction term (`x == y`, which occurs
+//! when targets and sources are the same particle set) is defined as `0`.
+//! All engines — direct summation, CPU treecode, GPU treecode — share this
+//! convention, so errors measured between them are not polluted by the
+//! excluded term. The MAC guarantees proxy points of an *approximated*
+//! cluster never coincide with a target (the boxes are well separated for
+//! `θ < 1`), so the guard only fires on the direct paths.
+//!
+//! ## Cost accounting
+//!
+//! Each kernel reports an estimated flop-equivalent count per evaluation
+//! for the CPU and for the GPU cost models. Transcendental functions are
+//! far cheaper on GPU special-function units than in `libm`, which is
+//! exactly why the paper observes Yukawa/Coulomb run-time ratios of ≈1.8×
+//! on CPU but only ≈1.5× on GPU; the per-device numbers below encode that.
+
+/// A pairwise interaction kernel evaluated on the displacement `x - y`.
+pub trait Kernel: Sync + Send {
+    /// Evaluate `G(x, y)` given the displacement components `dx = x1 - y1`
+    /// etc. Implementations must return `0.0` for a zero displacement if
+    /// the kernel is singular at the origin (see the module docs).
+    fn eval(&self, dx: f64, dy: f64, dz: f64) -> f64;
+
+    /// Single-precision evaluation, for the mixed-precision mode the
+    /// paper lists as future work (§5). The default round-trips through
+    /// `eval`; performance-honest kernels override it with genuine `f32`
+    /// arithmetic.
+    fn eval_f32(&self, dx: f32, dy: f32, dz: f32) -> f32 {
+        self.eval(dx as f64, dy as f64, dz as f64) as f32
+    }
+
+    /// Short human-readable name (used in harness output).
+    fn name(&self) -> &'static str;
+
+    /// Flop-equivalents per evaluation on a CPU core (libm transcendentals).
+    fn flops_per_eval_cpu(&self) -> f64;
+
+    /// Flop-equivalents per evaluation on a GPU (special-function units).
+    fn flops_per_eval_gpu(&self) -> f64;
+}
+
+/// A kernel with an analytic gradient — what force computations need
+/// (the paper's intro: "electrostatic or gravitational potentials and
+/// forces"). The gradient is taken with respect to the **target**
+/// coordinates; the force on a unit charge at the target is `-∇φ`.
+pub trait GradientKernel: Kernel {
+    /// Evaluate `(G, ∂G/∂x₁, ∂G/∂x₂, ∂G/∂x₃)` at displacement
+    /// `(dx, dy, dz) = x - y`. Must return all zeros at zero displacement
+    /// for singular kernels (the self-interaction convention).
+    fn eval_with_grad(&self, dx: f64, dy: f64, dz: f64) -> (f64, f64, f64, f64);
+
+    /// Flop-equivalents per gradient evaluation on the GPU (potential +
+    /// three derivatives share most subexpressions).
+    fn grad_flops_per_eval_gpu(&self) -> f64 {
+        self.flops_per_eval_gpu() * 2.0
+    }
+}
+
+impl GradientKernel for Coulomb {
+    #[inline]
+    fn eval_with_grad(&self, dx: f64, dy: f64, dz: f64) -> (f64, f64, f64, f64) {
+        let r2 = dx * dx + dy * dy + dz * dz;
+        if r2 == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let inv_r = 1.0 / r2.sqrt();
+        // ∂(1/r)/∂dx = -dx / r³
+        let c = -inv_r / r2;
+        (inv_r, c * dx, c * dy, c * dz)
+    }
+}
+
+impl GradientKernel for Yukawa {
+    #[inline]
+    fn eval_with_grad(&self, dx: f64, dy: f64, dz: f64) -> (f64, f64, f64, f64) {
+        let r2 = dx * dx + dy * dy + dz * dz;
+        if r2 == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let r = r2.sqrt();
+        let g = (-self.kappa * r).exp() / r;
+        // ∂(e^{-κr}/r)/∂dx = -dx (κ r + 1) e^{-κr} / r³
+        let c = -g * (self.kappa * r + 1.0) / r2;
+        (g, c * dx, c * dy, c * dz)
+    }
+}
+
+impl GradientKernel for RegularizedCoulomb {
+    #[inline]
+    fn eval_with_grad(&self, dx: f64, dy: f64, dz: f64) -> (f64, f64, f64, f64) {
+        let d2 = dx * dx + dy * dy + dz * dz + self.epsilon * self.epsilon;
+        let inv_d = 1.0 / d2.sqrt();
+        let c = -inv_d / d2;
+        (inv_d, c * dx, c * dy, c * dz)
+    }
+}
+
+impl GradientKernel for Gaussian {
+    #[inline]
+    fn eval_with_grad(&self, dx: f64, dy: f64, dz: f64) -> (f64, f64, f64, f64) {
+        let r2 = dx * dx + dy * dy + dz * dz;
+        let g = (-r2 / (self.sigma * self.sigma)).exp();
+        let c = -2.0 / (self.sigma * self.sigma) * g;
+        (g, c * dx, c * dy, c * dz)
+    }
+}
+
+/// Mixed-precision wrapper (§5 future work): kernel evaluations in
+/// `f32`, accumulation kept in `f64` by the engines.
+///
+/// On GPUs of the paper's era single-precision throughput is ≥2× the
+/// double-precision rate (Titan V: 13.8 vs 6.9 TFLOP/s), which the GPU
+/// flop estimate reflects; the price is an error floor near the `f32`
+/// rounding level (~1e-7 relative), visible in the
+/// `ablation_precision` harness.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedPrecision<K: Kernel>(pub K);
+
+impl<K: Kernel> Kernel for MixedPrecision<K> {
+    #[inline]
+    fn eval(&self, dx: f64, dy: f64, dz: f64) -> f64 {
+        self.0.eval_f32(dx as f32, dy as f32, dz as f32) as f64
+    }
+
+    fn eval_f32(&self, dx: f32, dy: f32, dz: f32) -> f32 {
+        self.0.eval_f32(dx, dy, dz)
+    }
+
+    fn name(&self) -> &'static str {
+        "mixed-precision"
+    }
+
+    // f32 SIMD lanes double CPU throughput too.
+    fn flops_per_eval_cpu(&self) -> f64 {
+        self.0.flops_per_eval_cpu() * 0.5
+    }
+
+    fn flops_per_eval_gpu(&self) -> f64 {
+        self.0.flops_per_eval_gpu() * 0.5
+    }
+}
+
+/// The Coulomb potential `G(x, y) = 1 / |x - y|` (also the gravitational
+/// monopole kernel when charges are masses).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Coulomb;
+
+impl Kernel for Coulomb {
+    #[inline]
+    fn eval(&self, dx: f64, dy: f64, dz: f64) -> f64 {
+        let r2 = dx * dx + dy * dy + dz * dz;
+        if r2 == 0.0 {
+            0.0
+        } else {
+            1.0 / r2.sqrt()
+        }
+    }
+
+    #[inline]
+    fn eval_f32(&self, dx: f32, dy: f32, dz: f32) -> f32 {
+        let r2 = dx * dx + dy * dy + dz * dz;
+        if r2 == 0.0 {
+            0.0
+        } else {
+            1.0 / r2.sqrt()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "coulomb"
+    }
+
+    // 3 mul + 2 add for r², sqrt ≈ 4, div ≈ 3 ⇒ ~12 flop-equivalents.
+    fn flops_per_eval_cpu(&self) -> f64 {
+        12.0
+    }
+
+    // rsqrt is a single SFU op on the GPU: 3 mul + 2 add + rsqrt(1) + mul.
+    fn flops_per_eval_gpu(&self) -> f64 {
+        7.0
+    }
+}
+
+/// The Yukawa (screened Coulomb) potential `G(x, y) = e^{-κ|x-y|} / |x-y|`
+/// with inverse Debye length `κ`.
+#[derive(Debug, Clone, Copy)]
+pub struct Yukawa {
+    /// Inverse Debye length κ.
+    pub kappa: f64,
+}
+
+impl Yukawa {
+    /// Construct with screening parameter `κ >= 0` (the paper uses 0.5).
+    pub fn new(kappa: f64) -> Self {
+        assert!(kappa >= 0.0 && kappa.is_finite(), "invalid kappa: {kappa}");
+        Self { kappa }
+    }
+}
+
+impl Default for Yukawa {
+    /// The paper's choice, κ = 0.5.
+    fn default() -> Self {
+        Self { kappa: 0.5 }
+    }
+}
+
+impl Kernel for Yukawa {
+    #[inline]
+    fn eval(&self, dx: f64, dy: f64, dz: f64) -> f64 {
+        let r2 = dx * dx + dy * dy + dz * dz;
+        if r2 == 0.0 {
+            0.0
+        } else {
+            let r = r2.sqrt();
+            (-self.kappa * r).exp() / r
+        }
+    }
+
+    #[inline]
+    fn eval_f32(&self, dx: f32, dy: f32, dz: f32) -> f32 {
+        let r2 = dx * dx + dy * dy + dz * dz;
+        if r2 == 0.0 {
+            0.0
+        } else {
+            let r = r2.sqrt();
+            (-(self.kappa as f32) * r).exp() / r
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "yukawa"
+    }
+
+    // Coulomb cost + libm exp ≈ 9 ⇒ ≈ 1.8× the Coulomb CPU cost.
+    fn flops_per_eval_cpu(&self) -> f64 {
+        21.6
+    }
+
+    // Coulomb cost + SFU exp ≈ 3.5 ⇒ ≈ 1.5× the Coulomb GPU cost.
+    fn flops_per_eval_gpu(&self) -> f64 {
+        10.5
+    }
+}
+
+/// Regularized (Plummer-softened) Coulomb `G = 1 / sqrt(|x-y|² + ε²)`,
+/// ubiquitous in gravitational N-body codes; smooth everywhere, so no
+/// singularity guard is needed.
+#[derive(Debug, Clone, Copy)]
+pub struct RegularizedCoulomb {
+    /// Softening length ε > 0.
+    pub epsilon: f64,
+}
+
+impl RegularizedCoulomb {
+    /// Construct with softening length `ε > 0`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "invalid epsilon");
+        Self { epsilon }
+    }
+}
+
+impl Kernel for RegularizedCoulomb {
+    #[inline]
+    fn eval(&self, dx: f64, dy: f64, dz: f64) -> f64 {
+        let r2 = dx * dx + dy * dy + dz * dz + self.epsilon * self.epsilon;
+        1.0 / r2.sqrt()
+    }
+
+    fn name(&self) -> &'static str {
+        "regularized-coulomb"
+    }
+
+    fn flops_per_eval_cpu(&self) -> f64 {
+        14.0
+    }
+
+    fn flops_per_eval_gpu(&self) -> f64 {
+        8.0
+    }
+}
+
+/// Gaussian kernel `G = e^{-|x-y|²/σ²}`; smooth, rapidly decaying —
+/// representative of RBF interpolation workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct Gaussian {
+    /// Length scale σ > 0.
+    pub sigma: f64,
+}
+
+impl Gaussian {
+    /// Construct with length scale `σ > 0`.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma > 0.0 && sigma.is_finite(), "invalid sigma");
+        Self { sigma }
+    }
+}
+
+impl Kernel for Gaussian {
+    #[inline]
+    fn eval(&self, dx: f64, dy: f64, dz: f64) -> f64 {
+        let r2 = dx * dx + dy * dy + dz * dz;
+        (-r2 / (self.sigma * self.sigma)).exp()
+    }
+
+    fn name(&self) -> &'static str {
+        "gaussian"
+    }
+
+    fn flops_per_eval_cpu(&self) -> f64 {
+        16.0
+    }
+
+    fn flops_per_eval_gpu(&self) -> f64 {
+        9.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coulomb_values() {
+        let g = Coulomb;
+        assert_eq!(g.eval(1.0, 0.0, 0.0), 1.0);
+        assert!((g.eval(3.0, 4.0, 0.0) - 0.2).abs() < 1e-15);
+        assert_eq!(g.eval(0.0, 0.0, 0.0), 0.0, "self-interaction is zero");
+    }
+
+    #[test]
+    fn yukawa_reduces_to_coulomb_at_zero_kappa() {
+        let y = Yukawa::new(0.0);
+        let c = Coulomb;
+        for &(dx, dy, dz) in &[(1.0, 2.0, 3.0), (0.5, 0.0, 0.0), (-2.0, 1.0, -1.0)] {
+            assert!((y.eval(dx, dy, dz) - c.eval(dx, dy, dz)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn yukawa_screens() {
+        let y = Yukawa::default();
+        assert_eq!(y.kappa, 0.5);
+        let r1 = y.eval(1.0, 0.0, 0.0);
+        assert!((r1 - (-0.5f64).exp()).abs() < 1e-15);
+        // Stronger screening at larger distance relative to Coulomb.
+        let c = Coulomb;
+        assert!(y.eval(10.0, 0.0, 0.0) / c.eval(10.0, 0.0, 0.0) < 0.01);
+        assert_eq!(y.eval(0.0, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn regularized_coulomb_is_finite_at_origin() {
+        let g = RegularizedCoulomb::new(0.1);
+        assert!((g.eval(0.0, 0.0, 0.0) - 10.0).abs() < 1e-12);
+        // Approaches Coulomb at large r.
+        let far = g.eval(100.0, 0.0, 0.0);
+        assert!((far - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gaussian_peaks_at_origin() {
+        let g = Gaussian::new(2.0);
+        assert_eq!(g.eval(0.0, 0.0, 0.0), 1.0);
+        assert!(g.eval(2.0, 0.0, 0.0) < 1.0);
+        assert!((g.eval(2.0, 0.0, 0.0) - (-1.0f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cost_ratios_match_paper_observations() {
+        // §4: Yukawa is ≈1.8× Coulomb on CPU, ≈1.5× on GPU.
+        let c = Coulomb;
+        let y = Yukawa::default();
+        let cpu_ratio = y.flops_per_eval_cpu() / c.flops_per_eval_cpu();
+        let gpu_ratio = y.flops_per_eval_gpu() / c.flops_per_eval_gpu();
+        assert!((cpu_ratio - 1.8).abs() < 0.05, "cpu ratio {cpu_ratio}");
+        assert!((gpu_ratio - 1.5).abs() < 0.05, "gpu ratio {gpu_ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid kappa")]
+    fn negative_kappa_panics() {
+        let _ = Yukawa::new(-1.0);
+    }
+
+    #[test]
+    fn mixed_precision_tracks_f64_kernel() {
+        let m = MixedPrecision(Coulomb);
+        let exact = Coulomb.eval(0.3, -0.7, 1.1);
+        let mixed = m.eval(0.3, -0.7, 1.1);
+        let rel = ((exact - mixed) / exact).abs();
+        assert!(rel > 0.0, "f32 path must actually round");
+        assert!(rel < 1e-6, "f32 relative error too large: {rel}");
+        assert_eq!(m.eval(0.0, 0.0, 0.0), 0.0);
+        // Half the flop cost on both device classes.
+        assert_eq!(m.flops_per_eval_gpu(), Coulomb.flops_per_eval_gpu() * 0.5);
+        assert_eq!(m.flops_per_eval_cpu(), Coulomb.flops_per_eval_cpu() * 0.5);
+    }
+
+    #[test]
+    fn mixed_precision_yukawa_screens_like_f64() {
+        let y = Yukawa::new(0.5);
+        let m = MixedPrecision(y);
+        for &(dx, dy, dz) in &[(1.0, 0.0, 0.0), (0.2, -0.4, 0.6), (3.0, 3.0, 3.0)] {
+            let rel = ((y.eval(dx, dy, dz) - m.eval(dx, dy, dz)) / y.eval(dx, dy, dz)).abs();
+            assert!(rel < 1e-5, "rel {rel} at ({dx},{dy},{dz})");
+        }
+    }
+
+    #[test]
+    fn default_eval_f32_roundtrips_through_f64() {
+        // Kernels without a native f32 path fall back to the f64 one.
+        let g = Gaussian::new(1.0);
+        let v32 = g.eval_f32(0.5, 0.5, 0.5);
+        let v64 = g.eval(0.5, 0.5, 0.5);
+        assert!((v32 as f64 - v64).abs() < 1e-7);
+    }
+
+    #[test]
+    fn kernels_are_object_safe() {
+        let kernels: Vec<Box<dyn Kernel>> = vec![
+            Box::new(Coulomb),
+            Box::new(Yukawa::default()),
+            Box::new(RegularizedCoulomb::new(0.05)),
+            Box::new(Gaussian::new(1.0)),
+        ];
+        for k in &kernels {
+            assert!(k.eval(1.0, 1.0, 1.0).is_finite());
+            assert!(!k.name().is_empty());
+        }
+    }
+}

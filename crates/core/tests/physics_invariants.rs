@@ -1,0 +1,180 @@
+//! Physics-level invariants of the treecode as a whole: symmetries the
+//! exact sum possesses must survive the approximation to within the MAC
+//! accuracy (or exactly, where floating point allows).
+
+use bltc_core::prelude::*;
+
+fn cube(n: usize, seed: u64) -> ParticleSet {
+    ParticleSet::random_cube(n, seed)
+}
+
+fn params() -> BltcParams {
+    BltcParams::new(0.7, 6, 150, 150)
+}
+
+#[test]
+fn charge_negation_flips_potentials_exactly() {
+    // Negating every charge negates every term of every sum; IEEE
+    // negation is exact, so the results must match bitwise.
+    let ps = cube(2000, 400);
+    let mut neg = ps.clone();
+    for q in &mut neg.q {
+        *q = -*q;
+    }
+    let engine = SerialEngine::new(params());
+    let a = engine.compute(&ps, &ps, &Coulomb);
+    let b = engine.compute(&neg, &neg, &Coulomb);
+    for (x, y) in a.potentials.iter().zip(&b.potentials) {
+        assert_eq!(*x, -*y);
+    }
+}
+
+#[test]
+fn charge_scaling_is_exact_for_powers_of_two() {
+    // Scaling charges by 4 multiplies every term by 4 — exact in binary
+    // floating point.
+    let ps = cube(1500, 401);
+    let mut scaled = ps.clone();
+    for q in &mut scaled.q {
+        *q *= 4.0;
+    }
+    let engine = SerialEngine::new(params());
+    let a = engine.compute(&ps, &ps, &Coulomb);
+    let b = engine.compute(&scaled, &scaled, &Coulomb);
+    for (x, y) in a.potentials.iter().zip(&b.potentials) {
+        assert_eq!(*x * 4.0, *y);
+    }
+}
+
+#[test]
+fn superposition_of_charge_sets() {
+    // φ is linear in the charges; with identical geometry the treecode's
+    // interaction lists are identical, so superposition holds to rounding.
+    let ps = cube(1500, 402);
+    let mut qa = ps.clone();
+    let mut qb = ps.clone();
+    for (i, (a, b)) in qa.q.iter_mut().zip(qb.q.iter_mut()).enumerate() {
+        *a = (i % 3) as f64 - 1.0;
+        *b = ps.q[i] - *a;
+    }
+    let engine = SerialEngine::new(params());
+    let full = engine.compute(&ps, &ps, &Coulomb);
+    let pa = engine.compute(&ps, &qa, &Coulomb);
+    let pb = engine.compute(&ps, &qb, &Coulomb);
+    for i in 0..ps.len() {
+        let sum = pa.potentials[i] + pb.potentials[i];
+        let err = (sum - full.potentials[i]).abs();
+        assert!(
+            err < 1e-9 * (1.0 + full.potentials[i].abs()),
+            "superposition violated at {i}: {sum} vs {}",
+            full.potentials[i]
+        );
+    }
+}
+
+#[test]
+fn translation_invariance_to_mac_accuracy() {
+    // Rigid translation changes nothing physical. Tree boxes shift, so
+    // results differ only through rounding and (identical-shape) MAC
+    // decisions; demand agreement to well below the MAC error.
+    let ps = cube(2000, 403);
+    let mut moved = ps.clone();
+    for x in &mut moved.x {
+        *x += 10.0;
+    }
+    let engine = SerialEngine::new(params());
+    let a = engine.compute(&ps, &ps, &Coulomb);
+    let b = engine.compute(&moved, &moved, &Coulomb);
+    let err = relative_l2_error(&a.potentials, &b.potentials);
+    assert!(err < 1e-10, "translation changed potentials by {err}");
+}
+
+#[test]
+fn coordinate_scaling_scales_coulomb_inversely() {
+    // Coulomb: φ(s·x) = φ(x)/s when all coordinates scale by s.
+    let ps = cube(1500, 404);
+    let s = 8.0; // power of two: scaling of coordinates is exact
+    let mut scaled = ps.clone();
+    for v in scaled
+        .x
+        .iter_mut()
+        .chain(scaled.y.iter_mut())
+        .chain(scaled.z.iter_mut())
+    {
+        *v *= s;
+    }
+    let engine = SerialEngine::new(params());
+    let a = engine.compute(&ps, &ps, &Coulomb);
+    let b = engine.compute(&scaled, &scaled, &Coulomb);
+    for (x, y) in a.potentials.iter().zip(&b.potentials) {
+        let err = (x / s - y).abs();
+        assert!(err < 1e-12 * x.abs().max(1e-30), "scaling law violated");
+    }
+}
+
+#[test]
+fn all_positive_charges_give_positive_potentials() {
+    let mut ps = cube(2000, 405);
+    for q in &mut ps.q {
+        *q = q.abs() + 0.01;
+    }
+    let result = ParallelEngine::new(params()).compute(&ps, &ps, &Coulomb);
+    assert!(result.potentials.iter().all(|&p| p > 0.0));
+}
+
+#[test]
+fn strong_screening_suppresses_potentials() {
+    let ps = cube(1500, 406);
+    let engine = SerialEngine::new(params());
+    let weak = engine.compute(&ps, &ps, &Yukawa::new(0.1));
+    let strong = engine.compute(&ps, &ps, &Yukawa::new(50.0));
+    let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    // Random-sign charges partially cancel the long-range field, so the
+    // suppression factor is modest in the 2-norm; demand a clear drop.
+    assert!(
+        norm(&strong.potentials) < 0.5 * norm(&weak.potentials),
+        "strong screening must suppress the potential field: {} vs {}",
+        norm(&strong.potentials),
+        norm(&weak.potentials)
+    );
+}
+
+#[test]
+fn single_target_many_sources() {
+    let sources = cube(3000, 407);
+    let mut target = ParticleSet::default();
+    target.push(bltc_core::geometry::Point3::new(0.1, 0.2, 0.3), 1.0);
+    let r = SerialEngine::new(params()).compute(&target, &sources, &Coulomb);
+    assert_eq!(r.potentials.len(), 1);
+    let exact = direct_sum(&target, &sources, &Coulomb);
+    let err = (r.potentials[0] - exact[0]).abs() / exact[0].abs();
+    assert!(err < 1e-4, "single-target error {err}");
+}
+
+#[test]
+fn zero_charges_give_zero_potentials() {
+    let mut ps = cube(1000, 408);
+    for q in &mut ps.q {
+        *q = 0.0;
+    }
+    let r = SerialEngine::new(params()).compute(&ps, &ps, &Coulomb);
+    assert!(r.potentials.iter().all(|&p| p == 0.0));
+}
+
+#[test]
+fn mixed_precision_engine_run_hits_f32_floor() {
+    use bltc_core::kernel::MixedPrecision;
+    let ps = cube(2000, 409);
+    // High-accuracy parameters: f64 would reach ~1e-9; f32 evaluations
+    // floor the error near 1e-7.
+    let p = BltcParams::new(0.6, 8, 600, 600);
+    let engine = SerialEngine::new(p);
+    let exact = direct_sum(&ps, &ps, &Coulomb);
+    let f64_run = engine.compute(&ps, &ps, &Coulomb);
+    let mixed_run = engine.compute(&ps, &ps, &MixedPrecision(Coulomb));
+    let e64 = relative_l2_error(&exact, &f64_run.potentials);
+    let emx = relative_l2_error(&exact, &mixed_run.potentials);
+    assert!(e64 < 1e-7, "f64 error {e64}");
+    assert!(emx > e64, "mixed precision cannot beat f64");
+    assert!(emx < 1e-5, "mixed-precision floor too high: {emx}");
+}

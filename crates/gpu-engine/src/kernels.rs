@@ -1,0 +1,204 @@
+//! The four BLTC compute kernels on the simulated device.
+//!
+//! Each launch carries the paper's grid/block geometry and an exact work
+//! estimate; the body executes the same scalar arithmetic as the CPU
+//! engines (bitwise-identical results). Cluster proxy data lives in
+//! concatenated device buffers — node `i` owns the slice
+//! `[i·(n+1)³, (i+1)·(n+1)³)` — so one index addresses both the proxy
+//! coordinates and the modified charges, as a real GPU port would lay
+//! them out.
+
+use bltc_core::charges::{phase1_intermediates, phase2_accumulate};
+use bltc_core::cost::{PHASE1_FLOPS_PER_TERM, PHASE2_FLOPS_PER_TERM};
+use bltc_core::interp::tensor::TensorGrid;
+use bltc_core::kernel::Kernel;
+use gpu_sim::{BufF64, Device, LaunchConfig, WorkEstimate};
+
+/// Threads per block used by all four kernels (the inner parallel width).
+pub const THREADS_PER_BLOCK: usize = 128;
+
+/// Device-resident treecode state shared by the kernels.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceArrays {
+    /// Source coordinates/charges (tree order).
+    pub sx: BufF64,
+    /// Source y.
+    pub sy: BufF64,
+    /// Source z.
+    pub sz: BufF64,
+    /// Source charges.
+    pub sq: BufF64,
+    /// Target coordinates (batch order).
+    pub tx: BufF64,
+    /// Target y.
+    pub ty: BufF64,
+    /// Target z.
+    pub tz: BufF64,
+    /// Potentials (batch order), accumulated by the eval kernels.
+    pub pot: BufF64,
+    /// Concatenated proxy x-coordinates, `(n+1)³` per node.
+    pub proxy_x: BufF64,
+    /// Concatenated proxy y-coordinates.
+    pub proxy_y: BufF64,
+    /// Concatenated proxy z-coordinates.
+    pub proxy_z: BufF64,
+    /// Concatenated modified charges, `(n+1)³` per node.
+    pub qhat: BufF64,
+    /// Per-source intermediates `q̃` (tree order).
+    pub qtilde: BufF64,
+    /// Proxy points per node, `(n+1)³`.
+    pub proxy_per_node: usize,
+}
+
+/// Preprocessing kernel 1 (Eq. 14): intermediates `q̃_j` for one cluster.
+///
+/// Grid: one block per source particle; threads parallelize over the
+/// `n+1` terms of each dimension's denominator sum, then reduce.
+pub fn launch_precompute_phase1(
+    dev: &mut Device,
+    arrays: &DeviceArrays,
+    grid: &TensorGrid,
+    node_range: (usize, usize),
+    stream: usize,
+) {
+    let (start, end) = node_range;
+    let nc = end - start;
+    debug_assert!(nc > 0);
+    let nper = (grid.degree() + 1) as f64;
+    let work = WorkEstimate::new(
+        nc as f64 * nper * PHASE1_FLOPS_PER_TERM,
+        (nc * 4 * 8) as f64,
+    );
+    let cfg = LaunchConfig::new("precompute_phase1", nc, THREADS_PER_BLOCK).stream(stream);
+    let (sx, sy, sz, sq, qt) = (arrays.sx, arrays.sy, arrays.sz, arrays.sq, arrays.qtilde);
+    dev.launch(cfg, work, move |mem| {
+        let xs = mem.f64(sx)[start..end].to_vec();
+        let ys = mem.f64(sy)[start..end].to_vec();
+        let zs = mem.f64(sz)[start..end].to_vec();
+        let qs = mem.f64(sq)[start..end].to_vec();
+        let vals = phase1_intermediates(grid, &xs, &ys, &zs, &qs);
+        mem.f64_mut(qt)[start..end].copy_from_slice(&vals);
+    });
+}
+
+/// Preprocessing kernel 2 (Eq. 15): modified charges `q̂_k` for one
+/// cluster from its intermediates.
+///
+/// Grid: one block per Chebyshev point; threads parallelize over the
+/// cluster's sources, then reduce into `q̂_k`.
+pub fn launch_precompute_phase2(
+    dev: &mut Device,
+    arrays: &DeviceArrays,
+    grid: &TensorGrid,
+    node_idx: usize,
+    node_range: (usize, usize),
+    stream: usize,
+) {
+    let (start, end) = node_range;
+    let nc = end - start;
+    debug_assert!(nc > 0);
+    let m3 = arrays.proxy_per_node;
+    let work = WorkEstimate::new(
+        nc as f64 * m3 as f64 * PHASE2_FLOPS_PER_TERM,
+        ((nc * 4 + m3) * 8) as f64,
+    );
+    let cfg = LaunchConfig::new("precompute_phase2", m3, THREADS_PER_BLOCK).stream(stream);
+    let (sx, sy, sz, qt, qhat) = (arrays.sx, arrays.sy, arrays.sz, arrays.qtilde, arrays.qhat);
+    dev.launch(cfg, work, move |mem| {
+        let xs = mem.f64(sx)[start..end].to_vec();
+        let ys = mem.f64(sy)[start..end].to_vec();
+        let zs = mem.f64(sz)[start..end].to_vec();
+        let qtv = mem.f64(qt)[start..end].to_vec();
+        let vals = phase2_accumulate(grid, &xs, &ys, &zs, &qtv);
+        let base = node_idx * m3;
+        mem.f64_mut(qhat)[base..base + m3].copy_from_slice(&vals);
+    });
+}
+
+/// Batch–cluster **direct sum** kernel (Eq. 9, Fig. 3).
+///
+/// Grid: one block per target in the batch; one thread per source in the
+/// cluster; block reduction; atomic accumulate into the target potential.
+pub fn launch_direct_kernel(
+    dev: &mut Device,
+    arrays: &DeviceArrays,
+    batch_range: (usize, usize),
+    cluster_range: (usize, usize),
+    kernel: &dyn Kernel,
+    stream: usize,
+) {
+    let (t0, t1) = batch_range;
+    let (s0, s1) = cluster_range;
+    let nb = t1 - t0;
+    let nc = s1 - s0;
+    debug_assert!(nb > 0 && nc > 0);
+    let work = WorkEstimate::new(
+        nb as f64 * nc as f64 * kernel.flops_per_eval_gpu(),
+        ((nb * 4 + nc * 4) * 8) as f64,
+    );
+    let cfg = LaunchConfig::new("batch_cluster_direct", nb, THREADS_PER_BLOCK).stream(stream);
+    let a = *arrays;
+    dev.launch(cfg, work, move |mem| {
+        // Stage the cluster (the "shared memory" of a real port).
+        let xs = mem.f64(a.sx)[s0..s1].to_vec();
+        let ys = mem.f64(a.sy)[s0..s1].to_vec();
+        let zs = mem.f64(a.sz)[s0..s1].to_vec();
+        let qs = mem.f64(a.sq)[s0..s1].to_vec();
+        let txv = mem.f64(a.tx)[t0..t1].to_vec();
+        let tyv = mem.f64(a.ty)[t0..t1].to_vec();
+        let tzv = mem.f64(a.tz)[t0..t1].to_vec();
+        let pot = mem.f64_mut(a.pot);
+        // Block i: target t0+i; threads j over sources; sequential sum
+        // models the deterministic block reduction.
+        for i in 0..nb {
+            let mut acc = 0.0;
+            for j in 0..nc {
+                acc += kernel.eval(txv[i] - xs[j], tyv[i] - ys[j], tzv[i] - zs[j]) * qs[j];
+            }
+            pot[t0 + i] += acc; // the #pragma acc atomic update
+        }
+    });
+}
+
+/// Batch–cluster **approximation** kernel (Eq. 11).
+///
+/// Identical structure to the direct-sum kernel with the cluster's
+/// `(n+1)³` Chebyshev proxies (and their modified charges) in place of
+/// the sources — the paper's key GPU-enabling property.
+pub fn launch_approx_kernel(
+    dev: &mut Device,
+    arrays: &DeviceArrays,
+    batch_range: (usize, usize),
+    node_idx: usize,
+    kernel: &dyn Kernel,
+    stream: usize,
+) {
+    let (t0, t1) = batch_range;
+    let nb = t1 - t0;
+    let m3 = arrays.proxy_per_node;
+    debug_assert!(nb > 0 && m3 > 0);
+    let work = WorkEstimate::new(
+        nb as f64 * m3 as f64 * kernel.flops_per_eval_gpu(),
+        ((nb * 4 + m3 * 4) * 8) as f64,
+    );
+    let cfg = LaunchConfig::new("batch_cluster_approx", nb, THREADS_PER_BLOCK).stream(stream);
+    let a = *arrays;
+    let base = node_idx * m3;
+    dev.launch(cfg, work, move |mem| {
+        let px = mem.f64(a.proxy_x)[base..base + m3].to_vec();
+        let py = mem.f64(a.proxy_y)[base..base + m3].to_vec();
+        let pz = mem.f64(a.proxy_z)[base..base + m3].to_vec();
+        let qh = mem.f64(a.qhat)[base..base + m3].to_vec();
+        let txv = mem.f64(a.tx)[t0..t1].to_vec();
+        let tyv = mem.f64(a.ty)[t0..t1].to_vec();
+        let tzv = mem.f64(a.tz)[t0..t1].to_vec();
+        let pot = mem.f64_mut(a.pot);
+        for i in 0..nb {
+            let mut acc = 0.0;
+            for k in 0..m3 {
+                acc += kernel.eval(txv[i] - px[k], tyv[i] - py[k], tzv[i] - pz[k]) * qh[k];
+            }
+            pot[t0 + i] += acc;
+        }
+    });
+}

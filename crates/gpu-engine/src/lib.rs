@@ -1,0 +1,34 @@
+//! # bltc-gpu — the BLTC mapped onto the simulated GPU
+//!
+//! This crate is the Rust analogue of the paper's OpenACC port (§3.2). It
+//! implements the four compute kernels on the `gpu-sim` execution model:
+//!
+//! 1. **precompute phase 1** — per-source intermediates `q̃_j` (Eq. 14);
+//!    one block per source particle, threads over the interpolation
+//!    degree,
+//! 2. **precompute phase 2** — modified charges `q̂_k` (Eq. 15); one block
+//!    per Chebyshev point, threads over the cluster's sources,
+//! 3. **batch–cluster direct-sum kernel** — Eq. 9; one block per target,
+//!    one thread per source, block reduction, atomic accumulate,
+//! 4. **batch–cluster approximation kernel** — Eq. 11; identical shape
+//!    with proxies in place of sources (the direct-sum *form* of the
+//!    barycentric approximation is exactly what makes this possible).
+//!
+//! The engine walks each batch's interaction list launching kernels and
+//! cycling the stream id through the available asynchronous streams, then
+//! synchronizes and copies potentials back — the full pipeline of the
+//! paper's "MPI + OpenACC BLTC" algorithm restricted to one rank. The
+//! distributed version (LET construction, remote charges) lives in
+//! `bltc-dist` and reuses these kernels unchanged.
+//!
+//! Numerical results are produced by the same scalar code paths as the
+//! CPU engines (same summation order, same product association), so CPU
+//! and GPU potentials agree **bitwise**; only the *clock* differs.
+
+pub mod engine;
+pub mod kernels;
+
+pub use engine::{
+    gpu_direct_sum, gpu_direct_sum_modeled_seconds, GpuDirectSumResult, GpuEngine, GpuRunReport,
+    GpuSimBreakdown,
+};

@@ -1,0 +1,129 @@
+//! An atomic `f64` accumulator mirroring `#pragma acc atomic` — the
+//! update the paper uses to resolve races when several streams accumulate
+//! into the same target's potential (§3.2).
+//!
+//! Implemented as compare-and-swap on the bit pattern, so it is correct
+//! under real concurrency as well as in the sequential simulator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free `f64` add-accumulator.
+#[derive(Debug, Default)]
+pub struct AtomicF64Cell {
+    bits: AtomicU64,
+}
+
+impl AtomicF64Cell {
+    /// New cell holding `value`.
+    pub fn new(value: f64) -> Self {
+        Self {
+            bits: AtomicU64::new(value.to_bits()),
+        }
+    }
+
+    /// Current value.
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Atomically add `delta` (CAS loop).
+    pub fn fetch_add(&self, delta: f64) -> f64 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return f64::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Overwrite the value.
+    pub fn store(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Release);
+    }
+}
+
+/// A slice of atomic accumulators (a potential vector under concurrent
+/// update).
+#[derive(Debug, Default)]
+pub struct AtomicF64Slice {
+    cells: Vec<AtomicF64Cell>,
+}
+
+impl AtomicF64Slice {
+    /// Zero-initialized slice of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            cells: (0..n).map(|_| AtomicF64Cell::new(0.0)).collect(),
+        }
+    }
+
+    /// Length.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Atomic add at index.
+    pub fn add(&self, i: usize, delta: f64) {
+        self.cells[i].fetch_add(delta);
+    }
+
+    /// Snapshot to a plain vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.cells.iter().map(|c| c.load()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_semantics() {
+        let c = AtomicF64Cell::new(1.5);
+        assert_eq!(c.load(), 1.5);
+        let prev = c.fetch_add(2.5);
+        assert_eq!(prev, 1.5);
+        assert_eq!(c.load(), 4.0);
+        c.store(-1.0);
+        assert_eq!(c.load(), -1.0);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let cell = Arc::new(AtomicF64Cell::new(0.0));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.fetch_add(1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(cell.load(), 40_000.0);
+    }
+
+    #[test]
+    fn slice_ops() {
+        let s = AtomicF64Slice::zeros(3);
+        assert_eq!(s.len(), 3);
+        s.add(1, 2.0);
+        s.add(1, 3.0);
+        assert_eq!(s.to_vec(), vec![0.0, 5.0, 0.0]);
+    }
+}

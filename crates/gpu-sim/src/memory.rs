@@ -1,0 +1,161 @@
+//! The device memory arena.
+//!
+//! Buffers are identified by typed handles (`BufF64`, `BufU32`) so kernel
+//! bodies — plain closures over `&mut DeviceMemory` — can address several
+//! buffers without fighting the borrow checker over disjoint `&mut`s.
+//! `f64_pair_mut` provides the common two-buffer (read A, write B) access
+//! pattern safely.
+
+/// Handle to a device-resident `f64` buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufF64(usize);
+
+/// Handle to a device-resident `u32` buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufU32(usize);
+
+enum Slot {
+    F64(Vec<f64>),
+    U32(Vec<u32>),
+}
+
+/// The arena of device buffers.
+#[derive(Default)]
+pub struct DeviceMemory {
+    slots: Vec<Slot>,
+}
+
+impl DeviceMemory {
+    /// Allocate an `f64` buffer.
+    pub fn alloc_f64(&mut self, data: Vec<f64>) -> BufF64 {
+        self.slots.push(Slot::F64(data));
+        BufF64(self.slots.len() - 1)
+    }
+
+    /// Allocate a `u32` buffer.
+    pub fn alloc_u32(&mut self, data: Vec<u32>) -> BufU32 {
+        self.slots.push(Slot::U32(data));
+        BufU32(self.slots.len() - 1)
+    }
+
+    /// Immutable view of an `f64` buffer.
+    pub fn f64(&self, h: BufF64) -> &[f64] {
+        match &self.slots[h.0] {
+            Slot::F64(v) => v,
+            Slot::U32(_) => unreachable!("typed handle cannot point at u32 slot"),
+        }
+    }
+
+    /// Mutable view of an `f64` buffer.
+    pub fn f64_mut(&mut self, h: BufF64) -> &mut [f64] {
+        match &mut self.slots[h.0] {
+            Slot::F64(v) => v,
+            Slot::U32(_) => unreachable!("typed handle cannot point at u32 slot"),
+        }
+    }
+
+    /// Immutable view of a `u32` buffer.
+    pub fn u32(&self, h: BufU32) -> &[u32] {
+        match &self.slots[h.0] {
+            Slot::U32(v) => v,
+            Slot::F64(_) => unreachable!("typed handle cannot point at f64 slot"),
+        }
+    }
+
+    /// Mutable view of a `u32` buffer.
+    pub fn u32_mut(&mut self, h: BufU32) -> &mut [u32] {
+        match &mut self.slots[h.0] {
+            Slot::U32(v) => v,
+            Slot::F64(_) => unreachable!("typed handle cannot point at f64 slot"),
+        }
+    }
+
+    /// Disjoint (read, write) access to two distinct `f64` buffers —
+    /// the canonical kernel signature "read inputs A, accumulate into B".
+    ///
+    /// Panics if the handles alias.
+    pub fn f64_pair_mut(&mut self, read: BufF64, write: BufF64) -> (&[f64], &mut [f64]) {
+        assert_ne!(read.0, write.0, "aliasing buffers in f64_pair_mut");
+        let (lo, hi, swapped) = if read.0 < write.0 {
+            (read.0, write.0, false)
+        } else {
+            (write.0, read.0, true)
+        };
+        let (a, b) = self.slots.split_at_mut(hi);
+        let lo_slot = &mut a[lo];
+        let hi_slot = &mut b[0];
+        fn as_f64(s: &mut Slot) -> &mut Vec<f64> {
+            match s {
+                Slot::F64(v) => v,
+                Slot::U32(_) => unreachable!("typed handle cannot point at u32 slot"),
+            }
+        }
+        let lo_v = as_f64(lo_slot);
+        let hi_v = as_f64(hi_slot);
+        if swapped {
+            (&*hi_v, lo_v)
+        } else {
+            (&*lo_v, hi_v)
+        }
+    }
+
+    /// Number of live buffers.
+    pub fn num_buffers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total bytes resident on the device.
+    pub fn resident_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                Slot::F64(v) => v.len() * 8,
+                Slot::U32(v) => v.len() * 4,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_access() {
+        let mut m = DeviceMemory::default();
+        let a = m.alloc_f64(vec![1.0, 2.0]);
+        let b = m.alloc_u32(vec![3, 4, 5]);
+        assert_eq!(m.f64(a), &[1.0, 2.0]);
+        assert_eq!(m.u32(b), &[3, 4, 5]);
+        m.f64_mut(a)[0] = 9.0;
+        assert_eq!(m.f64(a)[0], 9.0);
+        assert_eq!(m.num_buffers(), 2);
+        assert_eq!(m.resident_bytes(), 16 + 12);
+    }
+
+    #[test]
+    fn pair_access_both_orders() {
+        let mut m = DeviceMemory::default();
+        let a = m.alloc_f64(vec![1.0, 2.0]);
+        let b = m.alloc_f64(vec![0.0, 0.0]);
+        {
+            let (src, dst) = m.f64_pair_mut(a, b);
+            dst[0] = src[0] + src[1];
+        }
+        assert_eq!(m.f64(b)[0], 3.0);
+        {
+            // Reverse order: read the later buffer, write the earlier.
+            let (src, dst) = m.f64_pair_mut(b, a);
+            dst[1] = src[0];
+        }
+        assert_eq!(m.f64(a)[1], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aliasing")]
+    fn pair_access_rejects_aliasing() {
+        let mut m = DeviceMemory::default();
+        let a = m.alloc_f64(vec![1.0]);
+        let _ = m.f64_pair_mut(a, a);
+    }
+}

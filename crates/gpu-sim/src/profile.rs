@@ -1,0 +1,120 @@
+//! Per-kernel-class profiling: launch counts, flops, modeled exec time,
+//! and block-count (occupancy) statistics. This is what the `gpu_profile`
+//! example prints and what the stream-ablation harness reads.
+
+use std::collections::BTreeMap;
+
+/// Aggregate statistics for one kernel class (keyed by launch name).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelClassStats {
+    /// Number of launches.
+    pub launches: u64,
+    /// Total flop-equivalents.
+    pub flops: f64,
+    /// Total modeled full-device exec seconds.
+    pub exec_seconds: f64,
+    /// Total blocks launched.
+    pub blocks: u64,
+    /// Smallest grid seen.
+    pub min_blocks: u64,
+    /// Largest grid seen.
+    pub max_blocks: u64,
+}
+
+/// Collector of per-class statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    classes: BTreeMap<&'static str, KernelClassStats>,
+}
+
+impl Profiler {
+    /// Record one launch.
+    pub fn record(&mut self, name: &'static str, flops: f64, exec_seconds: f64, blocks: usize) {
+        let e = self.classes.entry(name).or_insert(KernelClassStats {
+            min_blocks: u64::MAX,
+            ..Default::default()
+        });
+        e.launches += 1;
+        e.flops += flops;
+        e.exec_seconds += exec_seconds;
+        e.blocks += blocks as u64;
+        e.min_blocks = e.min_blocks.min(blocks as u64);
+        e.max_blocks = e.max_blocks.max(blocks as u64);
+    }
+
+    /// Stats for one class.
+    pub fn class(&self, name: &str) -> Option<&KernelClassStats> {
+        self.classes.get(name)
+    }
+
+    /// Iterate all classes in name order.
+    pub fn classes(&self) -> impl Iterator<Item = (&'static str, &KernelClassStats)> {
+        self.classes.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Total launches across classes.
+    pub fn total_launches(&self) -> u64 {
+        self.classes.values().map(|c| c.launches).sum()
+    }
+
+    /// Total flops across classes.
+    pub fn total_flops(&self) -> f64 {
+        self.classes.values().map(|c| c.flops).sum()
+    }
+
+    /// Render a fixed-width table (one row per class).
+    pub fn table(&self) -> String {
+        let mut out = String::from(
+            "kernel                    launches      blocks(avg)      GFLOP     exec(ms)\n",
+        );
+        for (name, c) in self.classes() {
+            let avg_blocks = if c.launches > 0 {
+                c.blocks as f64 / c.launches as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{name:<24} {:>9} {:>16.1} {:>10.3} {:>12.3}\n",
+                c.launches,
+                avg_blocks,
+                c.flops / 1e9,
+                c.exec_seconds * 1e3,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_aggregates() {
+        let mut p = Profiler::default();
+        p.record("direct", 1e6, 1e-3, 100);
+        p.record("direct", 3e6, 2e-3, 300);
+        p.record("approx", 5e6, 4e-3, 50);
+        let d = p.class("direct").unwrap();
+        assert_eq!(d.launches, 2);
+        assert!((d.flops - 4e6).abs() < 1.0);
+        assert_eq!(d.blocks, 400);
+        assert_eq!(d.min_blocks, 100);
+        assert_eq!(d.max_blocks, 300);
+        assert_eq!(p.total_launches(), 3);
+        assert!((p.total_flops() - 9e6).abs() < 1.0);
+        assert!(p.class("missing").is_none());
+    }
+
+    #[test]
+    fn table_lists_all_classes() {
+        let mut p = Profiler::default();
+        p.record("b_kernel", 1.0, 1.0, 1);
+        p.record("a_kernel", 1.0, 1.0, 1);
+        let t = p.table();
+        assert!(t.contains("a_kernel"));
+        assert!(t.contains("b_kernel"));
+        // BTreeMap ⇒ sorted order.
+        assert!(t.find("a_kernel").unwrap() < t.find("b_kernel").unwrap());
+    }
+}

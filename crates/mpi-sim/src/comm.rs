@@ -1,0 +1,165 @@
+//! The per-rank communicator: rank identity, collectives, and window
+//! creation.
+//!
+//! Collectives are built on a rendezvous table keyed by a per-rank call
+//! counter; because every rank executes the same program, matching calls
+//! share a key (calling collectives in different orders on different
+//! ranks is an SPMD bug, exactly as in MPI).
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use crate::rma::Window;
+use crate::runtime::World;
+
+/// This rank's handle to the SPMD world.
+pub struct Comm {
+    rank: usize,
+    world: Arc<World>,
+    seq: Cell<u64>,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, world: Arc<World>) -> Self {
+        Self {
+            rank,
+            world,
+            seq: Cell::new(0),
+        }
+    }
+
+    /// This rank's id, `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.world.size
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.world.barrier.wait();
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        s
+    }
+
+    /// All-gather: every rank contributes `value`; every rank receives
+    /// the vector of contributions indexed by rank.
+    pub fn all_gather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        let key = self.next_seq();
+        {
+            let mut r = self.world.rendezvous.lock();
+            let slots = r
+                .entry(key)
+                .or_insert_with(|| (0..self.world.size).map(|_| None).collect());
+            assert!(
+                slots[self.rank].is_none(),
+                "collective sequence mismatch on rank {}",
+                self.rank
+            );
+            slots[self.rank] = Some(Box::new(value));
+        }
+        self.world.barrier.wait();
+        let out: Vec<T> = {
+            let r = self.world.rendezvous.lock();
+            let slots = r.get(&key).expect("rendezvous entry must exist");
+            slots
+                .iter()
+                .map(|s| {
+                    s.as_ref()
+                        .expect("all ranks deposited")
+                        .downcast_ref::<T>()
+                        .expect("collective type mismatch across ranks")
+                        .clone()
+                })
+                .collect()
+        };
+        self.world.barrier.wait();
+        if self.rank == 0 {
+            self.world.rendezvous.lock().remove(&key);
+        }
+        out
+    }
+
+    /// All-reduce sum of an `f64`.
+    pub fn all_reduce_sum(&self, value: f64) -> f64 {
+        self.all_gather(value).into_iter().sum()
+    }
+
+    /// All-reduce max of an `f64`.
+    pub fn all_reduce_max(&self, value: f64) -> f64 {
+        self.all_gather(value).into_iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Create an RMA window exposing `data` (collective, like
+    /// `MPI_Win_create`). Every rank contributes its local region; the
+    /// returned [`Window`] can access any rank's region one-sided.
+    pub fn create_window<T: Clone + Send + Sync + 'static>(&self, data: Vec<T>) -> Window<T> {
+        Window::create(self, data)
+    }
+
+    pub(crate) fn world(&self) -> &Arc<World> {
+        &self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::run_spmd;
+
+    #[test]
+    fn all_gather_orders_by_rank() {
+        let out = run_spmd(5, |comm| comm.all_gather(comm.rank() * 10));
+        for v in out.results {
+            assert_eq!(v, vec![0, 10, 20, 30, 40]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_sum_and_max() {
+        let out = run_spmd(4, |comm| {
+            let s = comm.all_reduce_sum(comm.rank() as f64);
+            let m = comm.all_reduce_max(-(comm.rank() as f64));
+            (s, m)
+        });
+        for (s, m) in out.results {
+            assert_eq!(s, 6.0);
+            assert_eq!(m, 0.0);
+        }
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_interfere() {
+        let out = run_spmd(3, |comm| {
+            let a = comm.all_gather(comm.rank());
+            comm.barrier();
+            let b = comm.all_gather(100 + comm.rank());
+            (a, b)
+        });
+        for (a, b) in out.results {
+            assert_eq!(a, vec![0, 1, 2]);
+            assert_eq!(b, vec![100, 101, 102]);
+        }
+    }
+
+    #[test]
+    fn all_gather_heterogeneous_sizes() {
+        let out = run_spmd(3, |comm| {
+            let v: Vec<u8> = vec![comm.rank() as u8; comm.rank() + 1];
+            comm.all_gather(v)
+        });
+        for gathered in out.results {
+            assert_eq!(gathered[0], vec![0]);
+            assert_eq!(gathered[1], vec![1, 1]);
+            assert_eq!(gathered[2], vec![2, 2, 2]);
+        }
+    }
+}

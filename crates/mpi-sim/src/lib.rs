@@ -1,0 +1,53 @@
+//! # mpi-sim — an in-process SPMD runtime with one-sided RMA
+//!
+//! Substitute for the paper's MPI layer (§3.1). Ranks are OS threads
+//! executing the same program (SPMD); every rank gets a [`Comm`] handle.
+//! The pieces the distributed BLTC needs are faithfully modeled:
+//!
+//! - **Passive-target RMA windows** ([`rma::Window`]): a rank exposes a
+//!   memory region; any *origin* rank may `lock → get/put → unlock` it
+//!   with **no involvement from the target thread** — the semantics of
+//!   `MPI_Win_lock(MPI_LOCK_SHARED/EXCLUSIVE)` + `MPI_Get`/`MPI_Put` +
+//!   `MPI_Win_unlock` that the paper uses to build locally essential
+//!   trees asynchronously.
+//! - **Collectives** ([`comm`]): barrier, all-gather, all-reduce — used
+//!   for window creation (collective in MPI too) and result assembly.
+//! - **Traffic accounting** ([`runtime::TrafficMatrix`]): every one-sided
+//!   operation records (messages, bytes) per (origin, target) pair, which
+//!   the α–β network model ([`netmodel`]) converts into modeled
+//!   communication seconds for the scaling studies.
+//!
+//! The runtime runs real concurrency (real locks, real data movement
+//! between rank heaps), so races and epoch misuse are real bugs here just
+//! as they are under MPI.
+//!
+//! ## Example
+//!
+//! ```
+//! use mpi_sim::runtime::run_spmd;
+//!
+//! // Every rank exposes its rank id; rank 0 reads them all one-sided.
+//! let out = run_spmd(4, |comm| {
+//!     let win = comm.create_window(vec![comm.rank() as f64]);
+//!     let mut sum = 0.0;
+//!     if comm.rank() == 0 {
+//!         for r in 0..comm.size() {
+//!             let guard = win.lock_shared(r);
+//!             sum += guard.get(0..1)[0];
+//!         }
+//!     }
+//!     comm.barrier();
+//!     sum
+//! });
+//! assert_eq!(out.results[0], 0.0 + 1.0 + 2.0 + 3.0);
+//! ```
+
+pub mod comm;
+pub mod netmodel;
+pub mod rma;
+pub mod runtime;
+
+pub use comm::Comm;
+pub use netmodel::NetworkSpec;
+pub use rma::{Window, WindowReadGuard, WindowWriteGuard};
+pub use runtime::{run_spmd, SpmdResult, TrafficMatrix};

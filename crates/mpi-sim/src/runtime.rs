@@ -1,0 +1,197 @@
+//! The SPMD runtime: rank threads, the shared world, rendezvous-based
+//! collectives, and traffic accounting.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+
+use parking_lot::Mutex;
+
+/// Per-pair one-sided traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Number of one-sided operations (gets + puts).
+    pub messages: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+}
+
+/// `size × size` matrix of [`Traffic`]; entry `[o][t]` is traffic with
+/// origin `o` and target `t`.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficMatrix {
+    entries: Vec<Vec<Traffic>>,
+}
+
+impl TrafficMatrix {
+    fn new(size: usize) -> Self {
+        Self {
+            entries: vec![vec![Traffic::default(); size]; size],
+        }
+    }
+
+    /// Entry accessor.
+    pub fn get(&self, origin: usize, target: usize) -> Traffic {
+        self.entries[origin][target]
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total remote bytes an origin rank pulled/pushed (excludes
+    /// rank-local operations, which cost no network time).
+    pub fn remote_bytes_from(&self, origin: usize) -> u64 {
+        self.entries[origin]
+            .iter()
+            .enumerate()
+            .filter(|(t, _)| *t != origin)
+            .map(|(_, e)| e.bytes)
+            .sum()
+    }
+
+    /// Total remote messages an origin rank issued.
+    pub fn remote_messages_from(&self, origin: usize) -> u64 {
+        self.entries[origin]
+            .iter()
+            .enumerate()
+            .filter(|(t, _)| *t != origin)
+            .map(|(_, e)| e.messages)
+            .sum()
+    }
+
+    /// Grand total of remote bytes across all pairs.
+    pub fn total_remote_bytes(&self) -> u64 {
+        (0..self.size()).map(|o| self.remote_bytes_from(o)).sum()
+    }
+}
+
+/// Shared world state (one per `run_spmd` invocation).
+pub(crate) struct World {
+    pub(crate) size: usize,
+    pub(crate) barrier: Barrier,
+    /// Rendezvous slots for collectives, keyed by per-rank call sequence.
+    pub(crate) rendezvous: Mutex<HashMap<u64, Vec<Option<Box<dyn Any + Send>>>>>,
+    pub(crate) traffic: Mutex<TrafficMatrix>,
+}
+
+impl World {
+    pub(crate) fn new(size: usize) -> Self {
+        Self {
+            size,
+            barrier: Barrier::new(size),
+            rendezvous: Mutex::new(HashMap::new()),
+            traffic: Mutex::new(TrafficMatrix::new(size)),
+        }
+    }
+
+    pub(crate) fn record_traffic(&self, origin: usize, target: usize, bytes: u64) {
+        let mut t = self.traffic.lock();
+        let e = &mut t.entries[origin][target];
+        e.messages += 1;
+        e.bytes += bytes;
+    }
+}
+
+/// Result of an SPMD run: per-rank return values plus the recorded
+/// one-sided traffic matrix.
+#[derive(Debug)]
+pub struct SpmdResult<R> {
+    /// Return value of each rank, indexed by rank.
+    pub results: Vec<R>,
+    /// One-sided traffic recorded during the run.
+    pub traffic: TrafficMatrix,
+}
+
+/// Run `f` on `n_ranks` rank threads; blocks until all ranks return.
+///
+/// The closure receives this rank's [`crate::Comm`]. All ranks must make
+/// collective calls (barriers, window creations, gathers) in the same
+/// order — the SPMD discipline MPI itself requires.
+///
+/// # Panics
+///
+/// Panics if `n_ranks == 0`, or propagates the first rank panic after the
+/// run (note: a rank panicking between collectives can deadlock peers, as
+/// in real MPI).
+pub fn run_spmd<R, F>(n_ranks: usize, f: F) -> SpmdResult<R>
+where
+    R: Send,
+    F: Fn(crate::Comm) -> R + Sync,
+{
+    assert!(n_ranks > 0, "need at least one rank");
+    let world = Arc::new(World::new(n_ranks));
+    let results: Vec<R> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_ranks)
+            .map(|rank| {
+                let world = Arc::clone(&world);
+                let f = &f;
+                scope.spawn(move || f(crate::Comm::new(rank, world)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    });
+    let traffic = world.traffic.lock().clone();
+    SpmdResult { results, traffic }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_receive_distinct_ids() {
+        let out = run_spmd(6, |comm| (comm.rank(), comm.size()));
+        for (r, &(rank, size)) in out.results.iter().enumerate() {
+            assert_eq!(rank, r);
+            assert_eq!(size, 6);
+        }
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let out = run_spmd(1, |comm| {
+            comm.barrier();
+            comm.rank()
+        });
+        assert_eq!(out.results, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = run_spmd(0, |_c| ());
+    }
+
+    #[test]
+    fn traffic_matrix_accounting() {
+        let mut m = TrafficMatrix::new(3);
+        m.entries[0][1] = Traffic {
+            messages: 2,
+            bytes: 100,
+        };
+        m.entries[0][0] = Traffic {
+            messages: 5,
+            bytes: 999,
+        };
+        m.entries[2][0] = Traffic {
+            messages: 1,
+            bytes: 50,
+        };
+        assert_eq!(m.remote_bytes_from(0), 100, "local traffic excluded");
+        assert_eq!(m.remote_messages_from(0), 2);
+        assert_eq!(m.total_remote_bytes(), 150);
+        assert_eq!(m.get(2, 0).bytes, 50);
+    }
+
+    #[test]
+    fn closure_can_borrow_environment() {
+        let data = vec![1.0f64, 2.0, 3.0];
+        let out = run_spmd(3, |comm| data[comm.rank()]);
+        assert_eq!(out.results, vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,67 @@
+//! The distributed pipeline end-to-end on 4 simulated ranks: RCB domain
+//! decomposition, per-rank GPU precompute, locally essential tree
+//! construction over one-sided RMA, and distributed evaluation — with
+//! the LET statistics and the recorded communication matrix printed.
+//!
+//! ```text
+//! cargo run --release --example distributed_let
+//! ```
+
+use bltc::core::prelude::*;
+use bltc::dist::{run_distributed, DistConfig};
+
+fn main() {
+    let n = 16_000;
+    let ranks = 4;
+    let ps = ParticleSet::random_cube(n, 33);
+    let params = BltcParams::new(0.8, 4, 500, 500);
+    let cfg = DistConfig::comet(params);
+
+    println!("distributed BLTC: N = {n}, {ranks} ranks ({} per rank)", n / ranks);
+    println!("device/rank: {}, fabric: {}\n", cfg.spec.name, cfg.net.name);
+
+    let rep = run_distributed(&ps, ranks, &cfg, &Coulomb);
+
+    // Accuracy vs direct summation.
+    let exact = direct_sum(&ps, &ps, &Coulomb);
+    let err = relative_l2_error(&exact, &rep.potentials);
+    println!("relative 2-norm error vs direct sum: {err:.2e}\n");
+
+    println!("per-rank summary:");
+    println!("rank  n_local  tree_nodes  batches  LET:approx  LET:direct  fetched_particles");
+    for r in &rep.ranks {
+        println!(
+            "{:>4}  {:>7}  {:>10}  {:>7}  {:>10}  {:>10}  {:>17}",
+            r.rank,
+            r.n_local,
+            r.tree_nodes,
+            r.num_batches,
+            r.let_stats.remote_approx_nodes,
+            r.let_stats.remote_direct_nodes,
+            r.let_stats.fetched_particles,
+        );
+    }
+
+    println!("\none-sided traffic matrix (KiB, origin row → target column):");
+    print!("      ");
+    for t in 0..ranks {
+        print!("{t:>9}");
+    }
+    println!();
+    for o in 0..ranks {
+        print!("{o:>4}  ");
+        for t in 0..ranks {
+            print!("{:>9.1}", rep.traffic.get(o, t).bytes as f64 / 1024.0);
+        }
+        println!();
+    }
+
+    println!("\nmodeled phases (max over ranks):");
+    println!("  setup      : {:>9.3} ms", rep.setup_s * 1e3);
+    println!("  precompute : {:>9.3} ms", rep.precompute_s * 1e3);
+    println!("  compute    : {:>9.3} ms", rep.compute_s * 1e3);
+    println!("  total      : {:>9.3} ms", rep.total_s * 1e3);
+
+    assert!(err < 1e-3);
+    println!("\nOK — distributed result matches direct summation to MAC accuracy");
+}

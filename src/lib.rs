@@ -1,0 +1,36 @@
+//! # bltc — GPU-Accelerated Barycentric Lagrange Treecode
+//!
+//! Facade crate re-exporting the full reproduction workspace of
+//! Vaughn, Wilson & Krasny, *A GPU-Accelerated Barycentric Lagrange
+//! Treecode* (2020, arXiv:2003.01836).
+//!
+//! - [`core`] — the treecode itself: barycentric Lagrange interpolation at
+//!   Chebyshev points, source octree / target batches, MAC, modified
+//!   charges, CPU engines.
+//! - [`gpu`] — the treecode mapped onto a simulated GPU ([`gpu_sim`]):
+//!   batch–cluster direct-sum and approximation kernels, two-phase
+//!   precompute kernels, asynchronous streams.
+//! - [`dist`] — the distributed pipeline: RCB domain decomposition
+//!   ([`rcb_partition`]), locally essential trees built over passive-target
+//!   RMA ([`mpi_sim`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bltc::core::prelude::*;
+//!
+//! let particles = ParticleSet::random_cube(2_000, 42);
+//! let params = BltcParams::new(0.7, 6, 200, 200);
+//! let engine = SerialEngine::new(params);
+//! let result = engine.compute(&particles, &particles, &Coulomb);
+//! let exact = direct_sum(&particles, &particles, &Coulomb);
+//! let err = relative_l2_error(&exact, &result.potentials);
+//! assert!(err < 1e-3);
+//! ```
+
+pub use bltc_core as core;
+pub use bltc_dist as dist;
+pub use bltc_gpu as gpu;
+pub use gpu_sim;
+pub use mpi_sim;
+pub use rcb as rcb_partition;

@@ -1,0 +1,112 @@
+//! Cross-crate integration: all four engines (serial CPU, parallel CPU,
+//! simulated GPU, distributed multi-rank) must agree on the same problem.
+
+use bltc::core::prelude::*;
+use bltc::dist::{run_distributed, DistConfig};
+use bltc::gpu::GpuEngine;
+use bltc::gpu_sim::DeviceSpec;
+
+fn problem(n: usize, seed: u64) -> ParticleSet {
+    ParticleSet::random_cube(n, seed)
+}
+
+#[test]
+fn serial_parallel_gpu_agree_bitwise() {
+    let ps = problem(3000, 100);
+    let params = BltcParams::new(0.7, 5, 150, 150);
+    let kernel = Yukawa::new(0.5);
+    let serial = SerialEngine::new(params).compute(&ps, &ps, &kernel);
+    let parallel = ParallelEngine::new(params).compute(&ps, &ps, &kernel);
+    let gpu = GpuEngine::new(params).compute(&ps, &ps, &kernel);
+    assert_eq!(serial.potentials, parallel.potentials);
+    assert_eq!(serial.potentials, gpu.potentials);
+    assert_eq!(serial.ops, gpu.ops);
+}
+
+#[test]
+fn distributed_single_rank_equals_gpu_engine() {
+    let ps = problem(2000, 101);
+    let params = BltcParams::new(0.8, 4, 100, 100);
+    let cfg = DistConfig::comet(params);
+    let dist = run_distributed(&ps, 1, &cfg, &Coulomb);
+    let gpu = GpuEngine::with_spec(params, DeviceSpec::p100()).compute(&ps, &ps, &Coulomb);
+    assert_eq!(dist.potentials, gpu.potentials);
+}
+
+#[test]
+fn all_engines_converge_to_direct_sum() {
+    let ps = problem(2500, 102);
+    let params = BltcParams::new(0.7, 6, 120, 120);
+    let exact = direct_sum(&ps, &ps, &Coulomb);
+    let tol = 1e-4;
+
+    let engines: Vec<Box<dyn TreecodeEngine>> = vec![
+        Box::new(SerialEngine::new(params)),
+        Box::new(ParallelEngine::new(params)),
+        Box::new(GpuEngine::new(params)),
+    ];
+    for e in &engines {
+        let r = e.compute(&ps, &ps, &Coulomb);
+        let err = relative_l2_error(&exact, &r.potentials);
+        assert!(err < tol, "{}: error {err}", e.name());
+    }
+    for ranks in [2usize, 3] {
+        let dist = run_distributed(&ps, ranks, &DistConfig::comet(params), &Coulomb);
+        let err = relative_l2_error(&exact, &dist.potentials);
+        assert!(err < tol, "dist({ranks}): error {err}");
+    }
+}
+
+#[test]
+fn engines_agree_on_nonuniform_distributions() {
+    // Plummer sphere: deep uneven tree.
+    let ps = ParticleSet::plummer(2500, 1.0, 103);
+    let params = BltcParams::new(0.7, 5, 100, 100);
+    let serial = SerialEngine::new(params).compute(&ps, &ps, &Coulomb);
+    let gpu = GpuEngine::new(params).compute(&ps, &ps, &Coulomb);
+    assert_eq!(serial.potentials, gpu.potentials);
+
+    // Clustered blobs: many empty octants.
+    let ps = ParticleSet::gaussian_blobs(2000, 5, 0.04, 104);
+    let serial = SerialEngine::new(params).compute(&ps, &ps, &Coulomb);
+    let gpu = GpuEngine::new(params).compute(&ps, &ps, &Coulomb);
+    assert_eq!(serial.potentials, gpu.potentials);
+}
+
+#[test]
+fn stream_count_never_changes_results() {
+    let ps = problem(2500, 105);
+    let params = BltcParams::new(0.8, 4, 120, 120);
+    let base = GpuEngine::new(params)
+        .with_streams(1)
+        .compute(&ps, &ps, &Coulomb);
+    for streams in 2..=4 {
+        let r = GpuEngine::new(params)
+            .with_streams(streams)
+            .compute(&ps, &ps, &Coulomb);
+        assert_eq!(base.potentials, r.potentials, "streams={streams}");
+    }
+}
+
+#[test]
+fn rank_counts_agree_with_each_other() {
+    let ps = problem(2400, 106);
+    let params = BltcParams::new(0.7, 6, 80, 80);
+    let cfg = DistConfig::comet(params);
+    let d1 = run_distributed(&ps, 1, &cfg, &Yukawa::default());
+    for ranks in [2usize, 4, 6] {
+        let dr = run_distributed(&ps, ranks, &cfg, &Yukawa::default());
+        let diff = relative_l2_error(&d1.potentials, &dr.potentials);
+        assert!(diff < 1e-4, "{ranks} ranks vs 1 rank: {diff}");
+    }
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The umbrella crate must expose every subsystem.
+    let _ = bltc::gpu_sim::DeviceSpec::titan_v();
+    let _ = bltc::mpi_sim::NetworkSpec::infiniband_fdr();
+    let ps = ParticleSet::random_cube(64, 1);
+    let part = bltc::rcb_partition::rcb_partition(&ps, 2, None);
+    assert_eq!(part.num_parts(), 2);
+}

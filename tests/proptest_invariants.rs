@@ -1,0 +1,164 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! numerical invariants the algorithm's correctness rests on.
+
+use bltc::core::charges::{compute_charges_from_slices, ClusterCharges};
+use bltc::core::interp::barycentric::{interpolate, lagrange_values};
+use bltc::core::interp::chebyshev::ChebyshevGrid1D;
+use bltc::core::interp::tensor::TensorGrid;
+use bltc::core::prelude::*;
+use proptest::prelude::*;
+
+fn arb_particles(max_n: usize) -> impl Strategy<Value = ParticleSet> {
+    (
+        prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0), 2..max_n),
+    )
+        .prop_map(|(rows,)| {
+            let mut ps = ParticleSet::with_capacity(rows.len());
+            for (x, y, z, q) in rows {
+                ps.push(Point3::new(x, y, z), q);
+            }
+            ps
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Σ_k L_k(x) = 1 for any x in the interval (partition of unity).
+    #[test]
+    fn basis_partition_of_unity(degree in 1usize..12, x in -1.0f64..1.0) {
+        let g = ChebyshevGrid1D::canonical(degree);
+        let mut vals = vec![0.0; g.len()];
+        lagrange_values(&g, x, &mut vals);
+        let sum: f64 = vals.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-10, "sum {} at x={}", sum, x);
+    }
+
+    /// Degree-n interpolation reproduces every polynomial of degree ≤ n.
+    #[test]
+    fn interpolation_reproduces_polynomials(
+        degree in 2usize..9,
+        c0 in -2.0f64..2.0, c1 in -2.0f64..2.0, c2 in -2.0f64..2.0,
+        x in -1.0f64..1.0,
+    ) {
+        let poly = |t: f64| c0 + c1 * t + c2 * t * t;
+        let g = ChebyshevGrid1D::canonical(degree);
+        let vals: Vec<f64> = g.nodes().iter().map(|&s| poly(s)).collect();
+        let p = interpolate(&g, &vals, x);
+        prop_assert!((p - poly(x)).abs() < 1e-9, "p={} expect={}", p, poly(x));
+    }
+
+    /// The tree partitions particles exactly: every particle in exactly
+    /// one leaf, leaves within capacity (unless degenerate), boxes minimal.
+    #[test]
+    fn tree_partitions_particles(ps in arb_particles(300), cap in 4usize..64) {
+        let params = BltcParams::new(0.7, 2, cap, cap);
+        let tree = SourceTree::build(&ps, &params);
+        let mut covered = vec![0u8; ps.len()];
+        for &li in &tree.leaf_indices() {
+            let n = tree.node(li);
+            for i in n.start..n.end {
+                covered[i] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+        // Permutation bijective.
+        let mut seen = vec![false; ps.len()];
+        for &o in tree.perm() { prop_assert!(!seen[o]); seen[o] = true; }
+    }
+
+    /// Modified charges conserve total charge: Σ_k q̂_k = Σ_j q_j.
+    #[test]
+    fn modified_charges_conserve_charge(ps in arb_particles(200), degree in 1usize..7) {
+        let params = BltcParams::new(0.7, degree, 1000, 1000);
+        let tree = SourceTree::build(&ps, &params);
+        let cc = ClusterCharges::compute_all(&tree, degree);
+        let total: f64 = cc.charges(0).iter().sum();
+        let direct: f64 = ps.total_charge();
+        prop_assert!((total - direct).abs() < 1e-8 * (1.0 + direct.abs()) * ps.len() as f64,
+            "Σq̂={} Σq={}", total, direct);
+    }
+
+    /// All interaction lists cover all sources exactly once per batch,
+    /// for random particle sets and parameters.
+    #[test]
+    fn interaction_lists_cover(
+        ps in arb_particles(400),
+        theta in 0.3f64..0.95,
+        degree in 1usize..5,
+        cap in 8usize..64,
+    ) {
+        use bltc::core::traversal::InteractionLists;
+        let params = BltcParams::new(theta, degree, cap, cap);
+        let tree = SourceTree::build(&ps, &params);
+        let batches = TargetBatches::build(&ps, &params);
+        let lists = InteractionLists::build(&batches, &tree, &params);
+        for bl in &lists.per_batch {
+            let mut covered = vec![0u8; ps.len()];
+            for &ci in bl.approx.iter().chain(&bl.direct) {
+                let c = tree.node(ci as usize);
+                for i in c.start..c.end { covered[i] += 1; }
+            }
+            prop_assert!(covered.iter().all(|&c| c == 1));
+        }
+    }
+
+    /// RCB: parts disjoint, covering, balanced within one per part.
+    #[test]
+    fn rcb_balance(ps in arb_particles(500), k in 1usize..9) {
+        let part = bltc::rcb_partition::rcb_partition(&ps, k, None);
+        let total: usize = (0..k).map(|p| part.part_size(p)).sum();
+        prop_assert_eq!(total, ps.len());
+        if ps.len() >= k {
+            let (max, min) = part.balance();
+            prop_assert!(max - min <= k, "imbalance {}..{}", min, max);
+        }
+    }
+
+    /// Serial and parallel engines agree bitwise on arbitrary inputs.
+    #[test]
+    fn engines_agree(ps in arb_particles(250), theta in 0.4f64..0.9, degree in 1usize..5) {
+        let params = BltcParams::new(theta, degree, 32, 32);
+        let s = SerialEngine::new(params).compute(&ps, &ps, &Coulomb);
+        let p = ParallelEngine::new(params).compute(&ps, &ps, &Coulomb);
+        prop_assert_eq!(s.potentials, p.potentials);
+    }
+
+    /// The cluster proxy representation approximates the far field: for a
+    /// target far outside the cloud, proxy sum ≈ direct sum.
+    #[test]
+    fn proxy_far_field_accuracy(ps in arb_particles(150), dir in 0usize..6) {
+        let degree = 8;
+        let params = BltcParams::new(0.7, degree, 10_000, 10_000);
+        let tree = SourceTree::build(&ps, &params);
+        let grid = TensorGrid::new(degree, &tree.node(0).bbox);
+        let (xs, ys, zs, qs) = tree.node_particles(0);
+        let qhat = compute_charges_from_slices(&grid, xs, ys, zs, qs);
+        let d = 6.0;
+        let target = match dir {
+            0 => Point3::new(d, 0.0, 0.0),
+            1 => Point3::new(-d, 0.0, 0.0),
+            2 => Point3::new(0.0, d, 0.0),
+            3 => Point3::new(0.0, -d, 0.0),
+            4 => Point3::new(0.0, 0.0, d),
+            _ => Point3::new(0.0, 0.0, -d),
+        };
+        let kernel = Coulomb;
+        let exact: f64 = (0..xs.len())
+            .map(|j| kernel.eval(target.x - xs[j], target.y - ys[j], target.z - zs[j]) * qs[j])
+            .sum();
+        let approx: f64 = (0..grid.len())
+            .map(|k| {
+                let s = grid.point_linear(k);
+                kernel.eval(target.x - s.x, target.y - s.y, target.z - s.z) * qhat[k]
+            })
+            .sum();
+        // Absolute tolerance scaled by the charge magnitude (exact can be
+        // near zero for balanced charges).
+        let scale: f64 = qs.iter().map(|q| q.abs()).sum::<f64>().max(1e-3) / d;
+        prop_assert!(
+            (exact - approx).abs() < 1e-6 * scale,
+            "exact {} approx {}", exact, approx
+        );
+    }
+}
