@@ -25,12 +25,16 @@ fn bench_interpolation(c: &mut Criterion) {
     for degree in [4usize, 8, 12] {
         let grid = ChebyshevGrid1D::canonical(degree);
         let mut out = vec![0.0; grid.len()];
-        g.bench_with_input(BenchmarkId::new("lagrange_values", degree), &degree, |b, _| {
-            b.iter(|| {
-                lagrange_values(&grid, black_box(0.123456), &mut out);
-                black_box(&out);
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("lagrange_values", degree),
+            &degree,
+            |b, _| {
+                b.iter(|| {
+                    lagrange_values(&grid, black_box(0.123456), &mut out);
+                    black_box(&out);
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -42,17 +46,13 @@ fn bench_modified_charges(c: &mut Criterion) {
     let bbox = ps.bounding_box().unwrap();
     for degree in [4usize, 8] {
         let grid = TensorGrid::new(degree, &bbox);
-        g.bench_with_input(
-            BenchmarkId::new("cluster_2000", degree),
-            &degree,
-            |b, _| {
-                b.iter(|| {
-                    black_box(compute_charges_from_slices(
-                        &grid, &ps.x, &ps.y, &ps.z, &ps.q,
-                    ))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("cluster_2000", degree), &degree, |b, _| {
+            b.iter(|| {
+                black_box(compute_charges_from_slices(
+                    &grid, &ps.x, &ps.y, &ps.z, &ps.q,
+                ))
+            })
+        });
     }
     g.finish();
 }

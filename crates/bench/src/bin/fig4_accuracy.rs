@@ -52,7 +52,11 @@ fn main() {
         let t_ds_gpu = gpu_direct_sum_modeled_seconds(spec, n, n, kernel.as_ref());
         let t_ds_cpu = cpu.seconds(n as f64 * n as f64 * kernel.flops_per_eval_cpu());
         println!("== {} ==", kernel.name());
-        println!("direct sum:  cpu {:>10} s   gpu {:>10} s", sci(t_ds_cpu), sci(t_ds_gpu));
+        println!(
+            "direct sum:  cpu {:>10} s   gpu {:>10} s",
+            sci(t_ds_cpu),
+            sci(t_ds_gpu)
+        );
         println!("theta  degree      error      t_cpu(s)     t_gpu(s)   speedup  evals/N");
 
         let mut min_speedup = f64::INFINITY;
@@ -61,10 +65,9 @@ fn main() {
             let mut degree = 1;
             while degree <= max_degree {
                 let params = BltcParams::new(theta, degree, cap, cap);
-                let report = GpuEngine::with_spec(params, spec)
-                    .compute_detailed(&ps, &ps, kernel.as_ref());
-                let err =
-                    sampled_relative_l2_error(&exact, &report.result.potentials, &idx);
+                let report =
+                    GpuEngine::with_spec(params, spec).compute_detailed(&ps, &ps, kernel.as_ref());
+                let err = sampled_relative_l2_error(&exact, &report.result.potentials, &idx);
                 // Shared host-setup model for both devices.
                 let setup = HostModel::default().setup_seconds(
                     n,
@@ -73,8 +76,7 @@ fn main() {
                     0,
                 );
                 let t_gpu = report.sim.total() - report.sim.setup_host_s + setup;
-                let t_cpu =
-                    cpu_modeled_seconds(&report.result.ops, kernel.as_ref(), setup, &cpu);
+                let t_cpu = cpu_modeled_seconds(&report.result.ops, kernel.as_ref(), setup, &cpu);
                 let speedup = t_cpu / t_gpu;
                 min_speedup = min_speedup.min(speedup);
                 max_speedup = max_speedup.max(speedup);

@@ -34,7 +34,11 @@ fn main() {
     let params = BltcParams::new(theta, degree, cap, cap);
 
     println!("Fig. 5 — weak scaling (θ = {theta}, n = {degree}, N_L = N_B = {cap})");
-    println!("per-rank sizes: {base}, {}, {} (paper: 8M, 16M, 32M)\n", 2 * base, 4 * base);
+    println!(
+        "per-rank sizes: {base}, {}, {} (paper: 8M, 16M, 32M)\n",
+        2 * base,
+        4 * base
+    );
 
     let kernels: Vec<Box<dyn Kernel>> = vec![Box::new(Coulomb), Box::new(Yukawa::default())];
     let mut ranks_list = vec![1usize];

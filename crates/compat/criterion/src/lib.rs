@@ -1,0 +1,155 @@
+//! Offline stand-in for the subset of `criterion` used by this
+//! workspace's benches: groups, `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!`
+//! macros. Each benchmark runs a short warm-up plus a few timed
+//! iterations and prints mean wall time — no statistics, no reports.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Measurement entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Identifier `function_id/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: fmt::Display>(function_id: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.to_string();
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: samples.min(5),
+        total: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    let mean = if b.iters > 0 {
+        b.total / b.iters as f64
+    } else {
+        0.0
+    };
+    println!("  {label}: {:.3} ms/iter ({} iters)", mean * 1e3, b.iters);
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    total: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up, then the timed samples.
+        let _ = routine();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            let out = routine();
+            self.total += t0.elapsed().as_secs_f64();
+            self.iters += 1;
+            drop(out);
+        }
+    }
+}
+
+/// Re-export-compatible black box.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut ran = 0u32;
+        g.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, &v| {
+            b.iter(|| black_box(v * 2))
+        });
+        g.finish();
+        assert!(ran >= 3);
+    }
+}

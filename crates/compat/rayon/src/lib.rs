@@ -1,0 +1,58 @@
+//! Sequential drop-in for the subset of rayon used by this workspace.
+//!
+//! The "parallel" iterators here are the corresponding sequential
+//! iterators; `.map(..).collect()` / `.zip(..)` chains therefore run
+//! in-order on one thread. All call sites in this workspace are
+//! deterministic map-collects whose results are documented to be
+//! bitwise identical to serial execution, so this is a conforming
+//! implementation of the semantics (not the performance).
+
+pub mod prelude {
+    /// Stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// Stand-in for `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = core::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = core::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_collects_in_order() {
+        let v: Vec<usize> = (0..5).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn slice_par_iter_zips() {
+        let a = [1, 2, 3];
+        let b = vec![10, 20, 30];
+        let v: Vec<i32> = a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect();
+        assert_eq!(v, vec![11, 22, 33]);
+    }
+}

@@ -67,7 +67,11 @@ impl ClusterCharges {
 
     /// Install externally computed charges for a node (distributed LET).
     pub fn set_node_charges(&mut self, idx: usize, charges: Vec<f64>) {
-        assert_eq!(charges.len(), self.grids[idx].len(), "charge count mismatch");
+        assert_eq!(
+            charges.len(),
+            self.grids[idx].len(),
+            "charge count mismatch"
+        );
         self.qhat[idx] = charges;
     }
 
@@ -174,6 +178,9 @@ pub fn phase2_accumulate(
         fill_terms(grid, 0, &e1, xs[j], &mut t1);
         fill_terms(grid, 1, &e2, ys[j], &mut t2);
         fill_terms(grid, 2, &e3, zs[j], &mut t3);
+        // Index arithmetic (`(k1·m + k2)·m + k3`) is the linear proxy
+        // layout shared with the GPU buffers; keep the explicit indices.
+        #[allow(clippy::needless_range_loop)]
         for k1 in 0..m {
             let c1 = t1[k1] * qt[j];
             if c1 == 0.0 {
@@ -274,8 +281,7 @@ mod tests {
             let approx: f64 = (0..grid.len())
                 .map(|k| {
                     let s = grid.point_linear(k);
-                    kernel.eval(target.x - s.x, target.y - s.y, target.z - s.z)
-                        * cc.charges(0)[k]
+                    kernel.eval(target.x - s.x, target.y - s.y, target.z - s.z) * cc.charges(0)[k]
                 })
                 .sum();
             let err = (exact - approx).abs() / exact.abs();

@@ -216,7 +216,10 @@ mod tests {
         let w1 = counts(20_000, &params).kernel_evals() as f64;
         let w2 = counts(40_000, &params).kernel_evals() as f64;
         let growth = w2 / w1;
-        assert!(growth < 3.0, "growth factor {growth} too close to quadratic");
+        assert!(
+            growth < 3.0,
+            "growth factor {growth} too close to quadratic"
+        );
         assert!(growth > 1.5, "growth factor {growth} implausibly low");
     }
 

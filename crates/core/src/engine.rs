@@ -492,7 +492,10 @@ mod tests {
 
     #[test]
     fn engine_names() {
-        assert_eq!(SerialEngine::new(BltcParams::default()).name(), "cpu-serial");
+        assert_eq!(
+            SerialEngine::new(BltcParams::default()).name(),
+            "cpu-serial"
+        );
         assert_eq!(
             ParallelEngine::new(BltcParams::default()).name(),
             "cpu-parallel"

@@ -46,8 +46,16 @@ pub fn sample_indices(n: usize, samples: usize, seed: u64) -> Vec<usize> {
 /// Relative 2-norm error restricted to `indices`: `exact` holds values at
 /// the sampled targets only (in `indices` order), `approx_full` holds the
 /// full treecode result.
-pub fn sampled_relative_l2_error(exact_at_samples: &[f64], approx_full: &[f64], indices: &[usize]) -> f64 {
-    assert_eq!(exact_at_samples.len(), indices.len(), "sample length mismatch");
+pub fn sampled_relative_l2_error(
+    exact_at_samples: &[f64],
+    approx_full: &[f64],
+    indices: &[usize],
+) -> f64 {
+    assert_eq!(
+        exact_at_samples.len(),
+        indices.len(),
+        "sample length mismatch"
+    );
     let approx_at: Vec<f64> = indices.iter().map(|&i| approx_full[i]).collect();
     relative_l2_error(exact_at_samples, &approx_at)
 }

@@ -98,8 +98,8 @@ pub fn interpolate(grid: &ChebyshevGrid1D, f_at_nodes: &[f64], x: f64) -> f64 {
         DimEval::Exact { index } => f_at_nodes[index],
         DimEval::Regular { inv_denom } => {
             let mut num = 0.0;
-            for k in 0..grid.len() {
-                num += grid.weight(k) / (x - grid.node(k)) * f_at_nodes[k];
+            for (k, &f) in f_at_nodes.iter().enumerate() {
+                num += grid.weight(k) / (x - grid.node(k)) * f;
             }
             num * inv_denom
         }
@@ -196,9 +196,9 @@ mod tests {
         let p1 = phase1_factor(&eval);
         let mut vals = vec![0.0; g.len()];
         lagrange_values(&g, x, &mut vals);
-        for k in 0..g.len() {
+        for (k, &v) in vals.iter().enumerate() {
             let composed = dim_term(&g, &eval, k, x) * p1;
-            assert!((composed - vals[k]).abs() < 1e-15);
+            assert!((composed - v).abs() < 1e-15);
         }
     }
 

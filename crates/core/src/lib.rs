@@ -63,7 +63,9 @@ pub mod prelude {
     pub use crate::geometry::{BoundingBox, Point3};
     pub use crate::interp::chebyshev::ChebyshevGrid1D;
     pub use crate::interp::tensor::TensorGrid;
-    pub use crate::kernel::{Coulomb, Gaussian, GradientKernel, Kernel, RegularizedCoulomb, Yukawa};
+    pub use crate::kernel::{
+        Coulomb, Gaussian, GradientKernel, Kernel, RegularizedCoulomb, Yukawa,
+    };
     pub use crate::mac::Mac;
     pub use crate::particles::ParticleSet;
     pub use crate::traversal::{InteractionKind, InteractionLists};

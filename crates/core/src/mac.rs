@@ -51,7 +51,12 @@ impl Mac {
     /// division so `R = 0` (concentric batch and cluster) is safely
     /// "not separated".
     #[inline]
-    pub fn well_separated(&self, batch_center: &Point3, batch_radius: f64, cluster: &ClusterNode) -> bool {
+    pub fn well_separated(
+        &self,
+        batch_center: &Point3,
+        batch_radius: f64,
+        cluster: &ClusterNode,
+    ) -> bool {
         let r = batch_center.dist(&cluster.center);
         batch_radius + cluster.radius < self.theta * r
     }
@@ -112,21 +117,30 @@ mod tests {
     fn far_large_cluster_is_approximated() {
         let m = mac(0.5, 2); // proxy = 27
         let c = cluster(Point3::new(10.0, 0.0, 0.0), 0.5, 1000, false);
-        assert_eq!(m.assess(&Point3::new(0.0, 0.0, 0.0), 0.5, &c), MacDecision::Approximate);
+        assert_eq!(
+            m.assess(&Point3::new(0.0, 0.0, 0.0), 0.5, &c),
+            MacDecision::Approximate
+        );
     }
 
     #[test]
     fn near_internal_cluster_subdivides() {
         let m = mac(0.5, 2);
         let c = cluster(Point3::new(1.0, 0.0, 0.0), 0.5, 1000, false);
-        assert_eq!(m.assess(&Point3::new(0.0, 0.0, 0.0), 0.5, &c), MacDecision::Subdivide);
+        assert_eq!(
+            m.assess(&Point3::new(0.0, 0.0, 0.0), 0.5, &c),
+            MacDecision::Subdivide
+        );
     }
 
     #[test]
     fn near_leaf_cluster_is_direct() {
         let m = mac(0.5, 2);
         let c = cluster(Point3::new(1.0, 0.0, 0.0), 0.5, 50, true);
-        assert_eq!(m.assess(&Point3::new(0.0, 0.0, 0.0), 0.5, &c), MacDecision::Direct);
+        assert_eq!(
+            m.assess(&Point3::new(0.0, 0.0, 0.0), 0.5, &c),
+            MacDecision::Direct
+        );
     }
 
     #[test]
@@ -134,9 +148,15 @@ mod tests {
         // Separated, but N_C <= (n+1)^3 ⇒ exact interaction.
         let m = mac(0.5, 2); // proxy = 27
         let c = cluster(Point3::new(10.0, 0.0, 0.0), 0.5, 27, false);
-        assert_eq!(m.assess(&Point3::new(0.0, 0.0, 0.0), 0.5, &c), MacDecision::Direct);
+        assert_eq!(
+            m.assess(&Point3::new(0.0, 0.0, 0.0), 0.5, &c),
+            MacDecision::Direct
+        );
         let c = cluster(Point3::new(10.0, 0.0, 0.0), 0.5, 28, false);
-        assert_eq!(m.assess(&Point3::new(0.0, 0.0, 0.0), 0.5, &c), MacDecision::Approximate);
+        assert_eq!(
+            m.assess(&Point3::new(0.0, 0.0, 0.0), 0.5, &c),
+            MacDecision::Approximate
+        );
     }
 
     #[test]
@@ -145,7 +165,10 @@ mod tests {
         let c = cluster(Point3::new(0.0, 0.0, 0.0), 0.0, 1000, false);
         // R = 0, r_B = r_C = 0: 0 < θ·0 is false.
         assert!(!m.well_separated(&Point3::new(0.0, 0.0, 0.0), 0.0, &c));
-        assert_eq!(m.assess(&Point3::new(0.0, 0.0, 0.0), 0.0, &c), MacDecision::Subdivide);
+        assert_eq!(
+            m.assess(&Point3::new(0.0, 0.0, 0.0), 0.0, &c),
+            MacDecision::Subdivide
+        );
     }
 
     #[test]

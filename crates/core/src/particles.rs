@@ -212,7 +212,11 @@ impl ParticleSet {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = side * side * side;
         let mut out = Self::with_capacity(n);
-        let h = if side > 1 { 2.0 / (side - 1) as f64 } else { 0.0 };
+        let h = if side > 1 {
+            2.0 / (side - 1) as f64
+        } else {
+            0.0
+        };
         for i in 0..side {
             for j in 0..side {
                 for k in 0..side {
@@ -282,12 +286,8 @@ mod tests {
     fn plummer_is_centrally_concentrated() {
         let p = ParticleSet::plummer(4000, 1.0, 3);
         assert_eq!(p.len(), 4000);
-        let within_a = (0..p.len())
-            .filter(|&i| p.position(i).norm() < 1.0)
-            .count();
-        let within_3a = (0..p.len())
-            .filter(|&i| p.position(i).norm() < 3.0)
-            .count();
+        let within_a = (0..p.len()).filter(|&i| p.position(i).norm() < 1.0).count();
+        let within_3a = (0..p.len()).filter(|&i| p.position(i).norm() < 3.0).count();
         // Theoretical enclosed-mass fractions: ~35% inside a, ~91% inside
         // 3a (before the 10a tail clamp). Allow generous slack.
         assert!(

@@ -132,8 +132,8 @@ mod tests {
             let mut covered = vec![0u8; n];
             for &ci in bl.approx.iter().chain(&bl.direct) {
                 let c = tree.node(ci as usize);
-                for i in c.start..c.end {
-                    covered[i] += 1;
+                for slot in &mut covered[c.start..c.end] {
+                    *slot += 1;
                 }
             }
             assert!(

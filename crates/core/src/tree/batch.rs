@@ -127,11 +127,11 @@ mod tests {
         let mut cursor_ok = true;
         for b in tb.batches() {
             assert!(b.num_targets() >= 1 && b.num_targets() <= 100);
-            for i in b.start..b.end {
-                if covered[i] {
+            for slot in &mut covered[b.start..b.end] {
+                if *slot {
                     cursor_ok = false;
                 }
-                covered[i] = true;
+                *slot = true;
             }
         }
         assert!(cursor_ok, "batches overlap");

@@ -148,8 +148,8 @@ pub(crate) fn build_nodes(
 
         // Process children (order on the stack does not matter; indices
         // and ranges are already fixed).
-        for c in 0..num_children as usize {
-            stack.push(children[c] as usize);
+        for &c in &children[..num_children as usize] {
+            stack.push(c as usize);
         }
     }
 

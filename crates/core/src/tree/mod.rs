@@ -225,9 +225,9 @@ mod tests {
         for &li in &tree.leaf_indices() {
             let n = tree.node(li);
             assert!(n.num_particles() > 0, "no empty leaves");
-            for i in n.start..n.end {
-                assert!(!covered[i], "particle {i} in two leaves");
-                covered[i] = true;
+            for (i, slot) in (n.start..).zip(&mut covered[n.start..n.end]) {
+                assert!(!*slot, "particle {i} in two leaves");
+                *slot = true;
             }
         }
         assert!(covered.iter().all(|&c| c), "every particle in some leaf");
@@ -252,7 +252,11 @@ mod tests {
                 continue;
             }
             let kids: Vec<usize> = n.child_indices().collect();
-            assert!(kids.len() >= 2, "internal node {i} has {} child", kids.len());
+            assert!(
+                kids.len() >= 2,
+                "internal node {i} has {} child",
+                kids.len()
+            );
             // Children ranges tile the parent range in order.
             let mut cursor = n.start;
             for &k in &kids {
@@ -328,10 +332,7 @@ mod tests {
         let mut ps = ParticleSet::with_capacity(n);
         for i in 0..30 {
             for j in 0..30 {
-                ps.push(
-                    Point3::new(i as f64 / 29.0, j as f64 / 29.0, 0.25),
-                    1.0,
-                );
+                ps.push(Point3::new(i as f64 / 29.0, j as f64 / 29.0, 0.25), 1.0);
             }
         }
         let tree = SourceTree::build(&ps, &params(16));

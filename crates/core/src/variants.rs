@@ -116,6 +116,9 @@ impl PreparedTreecode {
                 lagrange_values(bgrid.dim(1), tp.y[t], &mut l2);
                 lagrange_values(bgrid.dim(2), tp.z[t], &mut l3);
                 let mut acc = 0.0;
+                // Explicit indices: `(k1·m + k2)·m + k3` is the linear
+                // proxy layout shared with the GPU buffers.
+                #[allow(clippy::needless_range_loop)]
                 for k1 in 0..m {
                     if l1[k1] == 0.0 {
                         continue;
@@ -170,7 +173,13 @@ mod tests {
     use crate::kernel::{Coulomb, Yukawa};
     use crate::particles::ParticleSet;
 
-    fn prep(n: usize, seed: u64, theta: f64, degree: usize, cap: usize) -> (ParticleSet, PreparedTreecode) {
+    fn prep(
+        n: usize,
+        seed: u64,
+        theta: f64,
+        degree: usize,
+        cap: usize,
+    ) -> (ParticleSet, PreparedTreecode) {
         let ps = ParticleSet::random_cube(n, seed);
         let p = PreparedTreecode::new(&ps, &ps, BltcParams::new(theta, degree, cap, cap));
         (ps, p)
@@ -218,7 +227,10 @@ mod tests {
     fn variant_errors_improve_with_degree() {
         let ps = ParticleSet::random_cube(2000, 603);
         let exact = direct_sum(&ps, &ps, &Coulomb);
-        for variant in [TreecodeVariant::ClusterParticle, TreecodeVariant::ClusterCluster] {
+        for variant in [
+            TreecodeVariant::ClusterParticle,
+            TreecodeVariant::ClusterCluster,
+        ] {
             let mut prev = f64::INFINITY;
             for degree in [2usize, 4, 6] {
                 let p = PreparedTreecode::new(&ps, &ps, BltcParams::new(0.8, degree, 100, 100));

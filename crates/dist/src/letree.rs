@@ -1,0 +1,288 @@
+//! Locally essential tree (LET) construction over passive-target RMA
+//! (§3.1).
+//!
+//! Each rank exposes three windows: its source-tree **skeleton** (node
+//! metadata), its tree-ordered **particles**, and its per-cluster
+//! **modified charges**. A rank then builds the LET for every remote
+//! rank completely asynchronously: it fetches the skeleton with one
+//! one-sided get, runs the *local* batch-MAC traversal against the
+//! remote node geometry, and fetches exactly the data the traversal
+//! demands — modified charges for MAC-accepted clusters, raw particles
+//! for near/undersized clusters. No remote rank takes any action.
+
+use std::collections::BTreeMap;
+
+use bltc_core::config::BltcParams;
+use bltc_core::cost::OpCounts;
+use bltc_core::geometry::{BoundingBox, Point3};
+use bltc_core::interp::tensor::TensorGrid;
+use bltc_core::kernel::Kernel;
+use bltc_core::mac::{Mac, MacDecision};
+use bltc_core::tree::{batch::TargetBatches, ClusterNode};
+use mpi_sim::Window;
+
+/// Wire format of one source-tree node — the skeleton entry exchanged
+/// during LET construction. Geometry is reduced to the bounding box;
+/// center and radius are rederived exactly as `SourceTree` derives them,
+/// so the remote MAC sees bit-identical geometry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeMeta {
+    min: [f64; 3],
+    max: [f64; 3],
+    start: u32,
+    end: u32,
+    children: [u32; 8],
+    num_children: u8,
+    level: u16,
+}
+
+impl NodeMeta {
+    pub(crate) fn from_node(n: &ClusterNode) -> Self {
+        Self {
+            min: [n.bbox.min.x, n.bbox.min.y, n.bbox.min.z],
+            max: [n.bbox.max.x, n.bbox.max.y, n.bbox.max.z],
+            start: n.start as u32,
+            end: n.end as u32,
+            children: n.children,
+            num_children: n.num_children,
+            level: n.level,
+        }
+    }
+
+    fn to_cluster(self) -> ClusterNode {
+        let bbox = BoundingBox::new(
+            Point3::new(self.min[0], self.min[1], self.min[2]),
+            Point3::new(self.max[0], self.max[1], self.max[2]),
+        );
+        ClusterNode {
+            center: bbox.midpoint(),
+            radius: bbox.radius(),
+            bbox,
+            start: self.start as usize,
+            end: self.end as usize,
+            children: self.children,
+            num_children: self.num_children,
+            level: self.level,
+        }
+    }
+}
+
+/// One-sided traffic this rank originated during LET construction
+/// (drives the α–β network model; the runtime's global `TrafficMatrix`
+/// records the same operations for the aggregate report).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CommTally {
+    /// One-sided operations issued to remote ranks.
+    pub messages: u64,
+    /// Total remote payload bytes (skeleton + charges + particles).
+    pub bytes: u64,
+    /// Payload bytes that must additionally be staged onto the device
+    /// (charges + particles; the skeleton stays on the host).
+    pub device_bytes: u64,
+}
+
+impl CommTally {
+    fn record(&mut self, bytes: u64, to_device: bool) {
+        self.messages += 1;
+        self.bytes += bytes;
+        if to_device {
+            self.device_bytes += bytes;
+        }
+    }
+}
+
+/// Raw particles fetched for one remote direct-interaction cluster.
+pub(crate) struct RemoteParticles {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    z: Vec<f64>,
+    q: Vec<f64>,
+}
+
+/// The locally essential view of one remote rank's tree.
+pub(crate) struct RemoteLet {
+    /// Reconstructed remote skeleton.
+    pub nodes: Vec<ClusterNode>,
+    /// Per-local-batch interaction lists against the remote tree
+    /// (approx node ids, direct node ids), in batch order.
+    pub per_batch: Vec<(Vec<u32>, Vec<u32>)>,
+    /// Fetched modified charges of MAC-accepted clusters.
+    pub qhat: BTreeMap<u32, Vec<f64>>,
+    /// Proxy grids of MAC-accepted clusters (derived locally from the
+    /// skeleton geometry — grids travel for free).
+    pub grids: BTreeMap<u32, TensorGrid>,
+    /// Fetched particles of direct clusters.
+    pub parts: BTreeMap<u32, RemoteParticles>,
+}
+
+impl RemoteLet {
+    /// Total particles fetched from this remote rank.
+    pub fn fetched_particles(&self) -> u64 {
+        self.parts.values().map(|p| p.x.len() as u64).sum()
+    }
+}
+
+/// Recursive batch-vs-remote-skeleton traversal — the exact dual-tree
+/// descent of `bltc_core::traversal`, applied to a reconstructed remote
+/// tree.
+fn traverse_remote(
+    mac: &Mac,
+    center: Point3,
+    radius: f64,
+    nodes: &[ClusterNode],
+    idx: usize,
+    approx: &mut Vec<u32>,
+    direct: &mut Vec<u32>,
+) {
+    let node = &nodes[idx];
+    match mac.assess(&center, radius, node) {
+        MacDecision::Approximate => approx.push(idx as u32),
+        MacDecision::Direct => direct.push(idx as u32),
+        MacDecision::Subdivide => {
+            for child in node.child_indices() {
+                traverse_remote(mac, center, radius, nodes, child, approx, direct);
+            }
+        }
+    }
+}
+
+/// Build this rank's LET view of `target` rank's tree: fetch the
+/// skeleton, traverse, then fetch exactly the demanded charges and
+/// particles — all within passive-target epochs on `target`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_remote_let(
+    target: usize,
+    batches: &TargetBatches,
+    params: &BltcParams,
+    meta_win: &Window<NodeMeta>,
+    part_win: &Window<f64>,
+    qhat_win: &Window<f64>,
+    m3: usize,
+    tally: &mut CommTally,
+) -> RemoteLet {
+    // Skeleton exchange: one bulk one-sided get of the node array.
+    let num_nodes = meta_win.region_len(target);
+    let metas = meta_win.lock_shared(target).get(0..num_nodes);
+    tally.record((num_nodes * std::mem::size_of::<NodeMeta>()) as u64, false);
+    let nodes: Vec<ClusterNode> = metas.into_iter().map(NodeMeta::to_cluster).collect();
+
+    // Local traversal against the remote skeleton: no communication.
+    let mac = Mac::new(params);
+    let mut per_batch = Vec::with_capacity(batches.len());
+    let mut approx_set = std::collections::BTreeSet::new();
+    let mut direct_set = std::collections::BTreeSet::new();
+    for b in batches.batches() {
+        let mut approx = Vec::new();
+        let mut direct = Vec::new();
+        traverse_remote(
+            &mac,
+            b.center,
+            b.radius,
+            &nodes,
+            0,
+            &mut approx,
+            &mut direct,
+        );
+        approx_set.extend(approx.iter().copied());
+        direct_set.extend(direct.iter().copied());
+        per_batch.push((approx, direct));
+    }
+
+    // Fetch modified charges for every distinct MAC-accepted cluster
+    // (one epoch, one get per cluster — the paper's LET fill).
+    let mut qhat = BTreeMap::new();
+    let mut grids = BTreeMap::new();
+    {
+        let guard = qhat_win.lock_shared(target);
+        for &ni in &approx_set {
+            let base = ni as usize * m3;
+            qhat.insert(ni, guard.get(base..base + m3));
+            tally.record((m3 * 8) as u64, true);
+            grids.insert(ni, TensorGrid::new(params.degree, &nodes[ni as usize].bbox));
+        }
+    }
+
+    // Fetch raw particles for every distinct direct cluster.
+    let mut parts = BTreeMap::new();
+    {
+        let guard = part_win.lock_shared(target);
+        for &ni in &direct_set {
+            let node = &nodes[ni as usize];
+            let flat = guard.get(4 * node.start..4 * node.end);
+            tally.record((flat.len() * 8) as u64, true);
+            let nc = node.end - node.start;
+            let mut p = RemoteParticles {
+                x: Vec::with_capacity(nc),
+                y: Vec::with_capacity(nc),
+                z: Vec::with_capacity(nc),
+                q: Vec::with_capacity(nc),
+            };
+            for j in 0..nc {
+                p.x.push(flat[4 * j]);
+                p.y.push(flat[4 * j + 1]);
+                p.z.push(flat[4 * j + 2]);
+                p.q.push(flat[4 * j + 3]);
+            }
+            parts.insert(ni, p);
+        }
+    }
+
+    RemoteLet {
+        nodes,
+        per_batch,
+        qhat,
+        grids,
+        parts,
+    }
+}
+
+/// Evaluate this LET's contribution to the rank's potentials.
+///
+/// `out` is indexed in reordered (batch) target order. The scalar math
+/// mirrors `bltc_core::engine::eval_batch_into` — approximation via
+/// Eq. 11 against the fetched modified charges, direct summation via
+/// Eq. 9 against the fetched particles. `device_bytes` accumulates the
+/// modeled per-launch memory traffic for the GPU clock.
+pub(crate) fn eval_remote_into(
+    let_view: &RemoteLet,
+    batches: &TargetBatches,
+    kernel: &dyn Kernel,
+    out: &mut [f64],
+    ops: &mut OpCounts,
+    device_bytes: &mut f64,
+) {
+    let tp = batches.particles();
+    for (b, (approx, direct)) in batches.batches().iter().zip(&let_view.per_batch) {
+        let nb = b.num_targets();
+        for &ci in approx {
+            let grid = &let_view.grids[&ci];
+            let qh = &let_view.qhat[&ci];
+            for (t, slot) in (b.start..b.end).zip(out[b.start..b.end].iter_mut()) {
+                let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
+                let mut acc = 0.0;
+                for (k, &q) in qh.iter().enumerate() {
+                    let s = grid.point_linear(k);
+                    acc += kernel.eval(tx - s.x, ty - s.y, tz - s.z) * q;
+                }
+                *slot += acc;
+            }
+            ops.approx_interactions += (nb * qh.len()) as u64;
+            ops.kernel_launches += 1;
+            *device_bytes += ((nb * 4 + qh.len() * 4) * 8) as f64;
+        }
+        for &ci in direct {
+            let p = &let_view.parts[&ci];
+            for (t, slot) in (b.start..b.end).zip(out[b.start..b.end].iter_mut()) {
+                let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
+                let mut acc = 0.0;
+                for j in 0..p.x.len() {
+                    acc += kernel.eval(tx - p.x[j], ty - p.y[j], tz - p.z[j]) * p.q[j];
+                }
+                *slot += acc;
+            }
+            ops.direct_interactions += (nb * p.x.len()) as u64;
+            ops.kernel_launches += 1;
+            *device_bytes += ((nb * 4 + p.x.len() * 4) * 8) as f64;
+        }
+    }
+}

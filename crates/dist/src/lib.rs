@@ -1,0 +1,431 @@
+//! # bltc-dist — the distributed BLTC pipeline (§3.1)
+//!
+//! The paper's multi-GPU algorithm on the in-process SPMD runtime
+//! (`mpi-sim`), the RCB partitioner (`rcb`), and the simulated GPU
+//! engine (`bltc-gpu`):
+//!
+//! 1. **Domain decomposition** — recursive coordinate bisection assigns
+//!    each rank a compact spatial region with a balanced particle count.
+//! 2. **Local trees + windows** — every rank builds the source tree and
+//!    modified charges for its own particles, then exposes three RMA
+//!    windows: the tree *skeleton*, the tree-ordered particles, and the
+//!    per-cluster modified charges.
+//! 3. **Locally essential trees** — each rank, fully asynchronously,
+//!    fetches remote skeletons with one-sided gets, runs its batch-MAC
+//!    traversal against them, and pulls only the clusters it needs:
+//!    modified charges where the MAC accepts, raw particles where it
+//!    does not. This is the step the paper builds on passive-target
+//!    `MPI_Win_lock`/`MPI_Get`.
+//! 4. **Evaluation** — local interactions run through the simulated GPU
+//!    engine (bitwise identical to the single-rank engines); remote LET
+//!    contributions are added with the same scalar kernels.
+//!
+//! Phase times are modeled, not measured: host work through
+//! [`model::HostModel`], device work through the `gpu-sim` clock, and
+//! communication through the α–β model over the recorded one-sided
+//! traffic — so two runs differing only in fabric produce identical
+//! potentials and differ exactly in the modeled communication seconds.
+
+mod letree;
+pub mod model;
+
+pub use model::HostModel;
+
+use bltc_core::charges::ClusterCharges;
+use bltc_core::config::BltcParams;
+use bltc_core::cost::OpCounts;
+use bltc_core::kernel::Kernel;
+use bltc_core::particles::ParticleSet;
+use bltc_core::tree::{batch::TargetBatches, SourceTree};
+use bltc_gpu::GpuEngine;
+use gpu_sim::DeviceSpec;
+use mpi_sim::runtime::TrafficMatrix;
+use mpi_sim::{run_spmd, NetworkSpec};
+use rcb::{partition_particles, rcb_partition};
+
+use letree::{build_remote_let, eval_remote_into, CommTally, NodeMeta};
+
+/// Configuration of a distributed run: treecode parameters plus the
+/// hardware models of one compute node class and its fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct DistConfig {
+    /// Treecode parameters (shared by every rank).
+    pub params: BltcParams,
+    /// Per-rank GPU model.
+    pub spec: DeviceSpec,
+    /// Interconnect model for the α–β communication clock.
+    pub net: NetworkSpec,
+    /// Asynchronous streams each rank cycles through.
+    pub streams: usize,
+    /// Host-side setup-time model.
+    pub host: HostModel,
+}
+
+impl DistConfig {
+    /// SDSC Comet, the paper's scaling platform (Figs. 5–6): one Tesla
+    /// P100 per rank on FDR InfiniBand.
+    pub fn comet(params: BltcParams) -> Self {
+        let spec = DeviceSpec::p100();
+        Self {
+            params,
+            spec,
+            net: NetworkSpec::infiniband_fdr(),
+            streams: spec.num_streams,
+            host: HostModel::default(),
+        }
+    }
+}
+
+/// LET-construction statistics for one rank (summed over remote ranks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LetStats {
+    /// Remote skeleton nodes received (metadata, bounded by tree sizes).
+    pub remote_skeleton_nodes: u64,
+    /// Distinct remote clusters whose modified charges were fetched.
+    pub remote_approx_nodes: u64,
+    /// Distinct remote clusters whose raw particles were fetched.
+    pub remote_direct_nodes: u64,
+    /// Total remote particles fetched — the LET sparsity headline: far
+    /// below the full remote particle count when the MAC is doing its
+    /// job.
+    pub fetched_particles: u64,
+    /// Total modified charges fetched.
+    pub fetched_proxy_charges: u64,
+}
+
+/// Per-rank result of a distributed run: sizes, LET statistics, exact
+/// op counts, and the modeled three-phase clock.
+#[derive(Debug, Clone)]
+pub struct RankReport {
+    /// Rank id.
+    pub rank: usize,
+    /// Particles owned (RCB partition size).
+    pub n_local: usize,
+    /// Nodes in the rank's local source tree.
+    pub tree_nodes: usize,
+    /// Target batches on the rank.
+    pub num_batches: usize,
+    /// LET construction statistics.
+    pub let_stats: LetStats,
+    /// Modeled host seconds (tree/batch/list build + LET assembly).
+    pub setup_host_s: f64,
+    /// Modeled communication seconds (α–β over this rank's one-sided
+    /// traffic).
+    pub setup_comm_s: f64,
+    /// Modeled staging seconds (HtD copies of sources, targets, and
+    /// fetched LET data).
+    pub setup_stage_s: f64,
+    /// Modeled precompute seconds (modified-charge kernels + DtH to the
+    /// charge windows).
+    pub precompute_s: f64,
+    /// Modeled compute seconds (evaluation kernels + DtH potentials).
+    pub compute_s: f64,
+    /// Exact op counts (local + remote work on this rank).
+    pub ops: OpCounts,
+}
+
+impl RankReport {
+    /// The paper's "setup" reporting phase: host work, communication,
+    /// and data staging.
+    pub fn setup_total(&self) -> f64 {
+        self.setup_host_s + self.setup_comm_s + self.setup_stage_s
+    }
+
+    /// Total modeled seconds on this rank; by construction exactly
+    /// `setup_total() + precompute_s + compute_s`.
+    pub fn total(&self) -> f64 {
+        self.setup_total() + self.precompute_s + self.compute_s
+    }
+}
+
+/// Aggregate result of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistReport {
+    /// Potentials in the *original* (global) target order.
+    pub potentials: Vec<f64>,
+    /// Per-rank reports, indexed by rank.
+    pub ranks: Vec<RankReport>,
+    /// One-sided traffic recorded by the runtime, per (origin, target).
+    pub traffic: TrafficMatrix,
+    /// Bulk-synchronous setup seconds: max over ranks.
+    pub setup_s: f64,
+    /// Bulk-synchronous precompute seconds: max over ranks.
+    pub precompute_s: f64,
+    /// Bulk-synchronous compute seconds: max over ranks.
+    pub compute_s: f64,
+    /// Modeled run time: max over ranks of the per-rank totals (each
+    /// rank's phases are serial; ranks overlap).
+    pub total_s: f64,
+}
+
+impl DistReport {
+    /// Exact aggregate op counts over all ranks.
+    pub fn total_ops(&self) -> OpCounts {
+        self.ranks
+            .iter()
+            .fold(OpCounts::default(), |acc, r| acc.merged(&r.ops))
+    }
+}
+
+/// Object-safe delegation so `run_distributed` accepts both concrete
+/// kernels (`&Coulomb`) and trait objects (`&dyn Kernel`).
+struct KernelRef<'a, K: Kernel + ?Sized>(&'a K);
+
+impl<K: Kernel + ?Sized> Kernel for KernelRef<'_, K> {
+    fn eval(&self, dx: f64, dy: f64, dz: f64) -> f64 {
+        self.0.eval(dx, dy, dz)
+    }
+
+    fn eval_f32(&self, dx: f32, dy: f32, dz: f32) -> f32 {
+        self.0.eval_f32(dx, dy, dz)
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn flops_per_eval_cpu(&self) -> f64 {
+        self.0.flops_per_eval_cpu()
+    }
+
+    fn flops_per_eval_gpu(&self) -> f64 {
+        self.0.flops_per_eval_gpu()
+    }
+}
+
+/// Run the full distributed pipeline on `ranks` simulated ranks.
+///
+/// Ranks execute as real OS threads under `mpi_sim::run_spmd`; all
+/// inter-rank data movement happens through one-sided RMA windows and is
+/// recorded in the returned traffic matrix. With `ranks == 1` the result
+/// is bitwise identical to `GpuEngine::with_spec(params, cfg.spec)` on
+/// the whole problem.
+pub fn run_distributed<K: Kernel + ?Sized>(
+    ps: &ParticleSet,
+    ranks: usize,
+    cfg: &DistConfig,
+    kernel: &K,
+) -> DistReport {
+    assert!(ranks >= 1, "need at least one rank");
+    assert!(!ps.is_empty(), "cannot distribute an empty particle set");
+    assert!(
+        ranks <= ps.len(),
+        "more ranks ({ranks}) than particles ({})",
+        ps.len()
+    );
+    cfg.params.validate();
+
+    let part = rcb_partition(ps, ranks, None);
+    let locals = partition_particles(ps, &part);
+    let kref = KernelRef(kernel);
+    let params = cfg.params;
+
+    let out = run_spmd(ranks, |comm| {
+        let rank = comm.rank();
+        let local = &locals[rank];
+        let kernel: &dyn Kernel = &kref;
+        let m3 = params.proxy_count();
+
+        // ---- local structures (host) --------------------------------
+        let tree = SourceTree::build(local, &params);
+        let batches = TargetBatches::build(local, &params);
+        let charges = ClusterCharges::compute_all(&tree, params.degree);
+
+        // ---- expose RMA windows (collective, like MPI_Win_create) ---
+        let meta: Vec<NodeMeta> = tree.nodes().iter().map(NodeMeta::from_node).collect();
+        let meta_win = comm.create_window(meta);
+
+        let tp = tree.particles();
+        let mut pdata = Vec::with_capacity(tp.len() * 4);
+        for j in 0..tp.len() {
+            pdata.extend_from_slice(&[tp.x[j], tp.y[j], tp.z[j], tp.q[j]]);
+        }
+        let part_win = comm.create_window(pdata);
+
+        let mut qdata = vec![0.0; tree.num_nodes() * m3];
+        for i in 0..tree.num_nodes() {
+            qdata[i * m3..(i + 1) * m3].copy_from_slice(charges.charges(i));
+        }
+        let qhat_win = comm.create_window(qdata);
+        comm.barrier(); // all windows exposed; passive epochs may begin
+
+        // ---- LET construction (fully one-sided) ---------------------
+        let mut tally = CommTally::default();
+        let mut lets = Vec::with_capacity(comm.size().saturating_sub(1));
+        for t in 0..comm.size() {
+            if t != rank {
+                lets.push(build_remote_let(
+                    t, &batches, &params, &meta_win, &part_win, &qhat_win, m3, &mut tally,
+                ));
+            }
+        }
+        let mut let_stats = LetStats::default();
+        for l in &lets {
+            let_stats.remote_skeleton_nodes += l.nodes.len() as u64;
+            let_stats.remote_approx_nodes += l.qhat.len() as u64;
+            let_stats.remote_direct_nodes += l.parts.len() as u64;
+            let_stats.fetched_particles += l.fetched_particles();
+            let_stats.fetched_proxy_charges += (l.qhat.len() * m3) as u64;
+        }
+
+        // ---- local evaluation on the simulated GPU ------------------
+        let gpu = GpuEngine::with_spec(params, cfg.spec)
+            .with_streams(cfg.streams)
+            .compute_detailed(local, local, kernel);
+
+        // ---- remote (LET) contributions -----------------------------
+        let mut potentials = gpu.result.potentials;
+        let mut remote_ops = OpCounts::default();
+        let mut device_bytes = 0.0;
+        if !lets.is_empty() {
+            let mut remote_pot = vec![0.0; local.len()]; // batch order
+            for l in &lets {
+                eval_remote_into(
+                    l,
+                    &batches,
+                    kernel,
+                    &mut remote_pot,
+                    &mut remote_ops,
+                    &mut device_bytes,
+                );
+            }
+            for (p, r) in potentials
+                .iter_mut()
+                .zip(batches.scatter_to_original(&remote_pot))
+            {
+                *p += r;
+            }
+        }
+        let ops = gpu.result.ops.merged(&remote_ops);
+
+        // ---- modeled clocks -----------------------------------------
+        let setup_host_s = cfg.host.setup_seconds(
+            local.len(),
+            gpu.result.tree_stats.max_level + 1,
+            ops.kernel_launches,
+            let_stats.fetched_particles,
+        );
+        let setup_comm_s = cfg.net.seconds_for(tally.messages, tally.bytes);
+        let stage_let_s = if tally.device_bytes > 0 {
+            cfg.spec.transfer_seconds(tally.device_bytes as f64)
+        } else {
+            0.0
+        };
+        let setup_stage_s = gpu.sim.htod_sources_s + gpu.sim.htod_let_s + stage_let_s;
+        let precompute_s = gpu.sim.precompute_s + gpu.sim.dtoh_charges_s;
+        let remote_exec_s = cfg
+            .spec
+            .exec_seconds(remote_ops.compute_flops(kernel, true), device_bytes)
+            + remote_ops.kernel_launches as f64
+                * (cfg.spec.host_enqueue_s + cfg.spec.launch_latency_s);
+        let compute_s = gpu.sim.compute_s + gpu.sim.dtoh_potentials_s + remote_exec_s;
+
+        comm.barrier(); // epochs closed on every rank
+
+        (
+            RankReport {
+                rank,
+                n_local: local.len(),
+                tree_nodes: tree.num_nodes(),
+                num_batches: batches.len(),
+                let_stats,
+                setup_host_s,
+                setup_comm_s,
+                setup_stage_s,
+                precompute_s,
+                compute_s,
+                ops,
+            },
+            potentials,
+        )
+    });
+
+    // ---- assemble the global report ---------------------------------
+    let mut potentials = vec![0.0; ps.len()];
+    let mut reports = Vec::with_capacity(ranks);
+    for (rank, (report, local_pot)) in out.results.into_iter().enumerate() {
+        for (i, &orig) in part.part_indices[rank].iter().enumerate() {
+            potentials[orig] = local_pot[i];
+        }
+        reports.push(report);
+    }
+    let fmax = |f: &dyn Fn(&RankReport) -> f64| reports.iter().map(f).fold(0.0, f64::max);
+    DistReport {
+        setup_s: fmax(&|r| r.setup_total()),
+        precompute_s: fmax(&|r| r.precompute_s),
+        compute_s: fmax(&|r| r.compute_s),
+        total_s: fmax(&|r| r.total()),
+        potentials,
+        ranks: reports,
+        traffic: out.traffic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bltc_core::engine::direct_sum;
+    use bltc_core::error::relative_l2_error;
+    use bltc_core::kernel::Coulomb;
+
+    fn cfg() -> DistConfig {
+        DistConfig::comet(BltcParams::new(0.8, 3, 60, 60))
+    }
+
+    #[test]
+    fn comet_preset_matches_paper_platform() {
+        let c = cfg();
+        assert_eq!(c.spec.name, DeviceSpec::p100().name);
+        assert_eq!(c.net.name, NetworkSpec::infiniband_fdr().name);
+        assert!(c.streams >= 1);
+    }
+
+    #[test]
+    fn single_rank_has_no_remote_traffic() {
+        let ps = ParticleSet::random_cube(500, 1);
+        let rep = run_distributed(&ps, 1, &cfg(), &Coulomb);
+        assert_eq!(rep.traffic.total_remote_bytes(), 0);
+        assert_eq!(rep.ranks[0].let_stats.fetched_particles, 0);
+        assert_eq!(rep.ranks[0].setup_comm_s, 0.0);
+    }
+
+    #[test]
+    fn two_ranks_match_direct_sum() {
+        let ps = ParticleSet::random_cube(1200, 2);
+        let rep = run_distributed(&ps, 2, &cfg(), &Coulomb);
+        let exact = direct_sum(&ps, &ps, &Coulomb);
+        let err = relative_l2_error(&exact, &rep.potentials);
+        assert!(err < 1e-3, "two-rank error {err}");
+        assert!(rep.traffic.total_remote_bytes() > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let ps = ParticleSet::random_cube(800, 3);
+        let a = run_distributed(&ps, 3, &cfg(), &Coulomb);
+        let b = run_distributed(&ps, 3, &cfg(), &Coulomb);
+        assert_eq!(a.potentials, b.potentials);
+        assert_eq!(a.total_s, b.total_s);
+        assert_eq!(
+            a.traffic.total_remote_bytes(),
+            b.traffic.total_remote_bytes()
+        );
+    }
+
+    #[test]
+    fn per_rank_phases_sum_to_total() {
+        let ps = ParticleSet::random_cube(900, 4);
+        let rep = run_distributed(&ps, 3, &cfg(), &Coulomb);
+        for r in &rep.ranks {
+            assert_eq!(r.setup_total() + r.precompute_s + r.compute_s, r.total());
+        }
+        assert!(rep.total_ops().num_batches > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more ranks")]
+    fn too_many_ranks_rejected() {
+        let ps = ParticleSet::random_cube(3, 5);
+        let _ = run_distributed(&ps, 8, &cfg(), &Coulomb);
+    }
+}

@@ -28,8 +28,8 @@ use bltc_core::tree::{batch::TargetBatches, SourceTree};
 use gpu_sim::{Device, DeviceSpec, LaunchConfig, WorkEstimate};
 
 use crate::kernels::{
-    launch_approx_kernel, launch_direct_kernel, launch_precompute_phase1,
-    launch_precompute_phase2, DeviceArrays, THREADS_PER_BLOCK,
+    launch_approx_kernel, launch_direct_kernel, launch_precompute_phase1, launch_precompute_phase2,
+    DeviceArrays, THREADS_PER_BLOCK,
 };
 
 /// Simulated-clock breakdown of one GPU run (seconds).
@@ -208,7 +208,13 @@ impl GpuEngine {
         // ---- precompute: modified charges for every cluster --------------
         for (ni, node) in tree.nodes().iter().enumerate() {
             let stream = ni % self.streams;
-            launch_precompute_phase1(&mut dev, &arrays, &grids[ni], (node.start, node.end), stream);
+            launch_precompute_phase1(
+                &mut dev,
+                &arrays,
+                &grids[ni],
+                (node.start, node.end),
+                stream,
+            );
             launch_precompute_phase2(
                 &mut dev,
                 &arrays,
@@ -241,7 +247,14 @@ impl GpuEngine {
             for &ci in &bl.approx {
                 let stream = launch_counter % self.streams;
                 launch_counter += 1;
-                launch_approx_kernel(&mut dev, &arrays, (b.start, b.end), ci as usize, kernel, stream);
+                launch_approx_kernel(
+                    &mut dev,
+                    &arrays,
+                    (b.start, b.end),
+                    ci as usize,
+                    kernel,
+                    stream,
+                );
             }
             for &ci in &bl.direct {
                 let stream = launch_counter % self.streams;
@@ -316,7 +329,9 @@ pub fn gpu_direct_sum_modeled_seconds(
 ) -> f64 {
     let mut t = 0.0;
     // Seven HtD transfers (sources x/y/z/q, targets x/y/z).
-    for len in [n_sources, n_sources, n_sources, n_sources, n_targets, n_targets, n_targets] {
+    for len in [
+        n_sources, n_sources, n_sources, n_sources, n_targets, n_targets, n_targets,
+    ] {
         t += spec.transfer_seconds((len * 8) as f64);
     }
     t += spec.host_enqueue_s + spec.launch_latency_s;
@@ -475,9 +490,8 @@ mod tests {
             let r = GpuEngine::new(params).compute_detailed(&ps, &ps, &Coulomb);
             r.sim.total() - r.sim.setup_host_s
         };
-        let time_ds = |n: usize| {
-            gpu_direct_sum_modeled_seconds(DeviceSpec::titan_v(), n, n, &Coulomb)
-        };
+        let time_ds =
+            |n: usize| gpu_direct_sum_modeled_seconds(DeviceSpec::titan_v(), n, n, &Coulomb);
         let (tc1, tc2) = (time_tc(10_000, 85), time_tc(20_000, 86));
         let (ds1, ds2) = (time_ds(10_000), time_ds(20_000));
         let tc_growth = tc2 / tc1;
@@ -526,8 +540,8 @@ mod tests {
         let params = BltcParams::new(0.8, 4, 80, 80);
         let tv = GpuEngine::with_spec(params, DeviceSpec::titan_v())
             .compute_detailed(&ps, &ps, &Coulomb);
-        let p1 = GpuEngine::with_spec(params, DeviceSpec::p100())
-            .compute_detailed(&ps, &ps, &Coulomb);
+        let p1 =
+            GpuEngine::with_spec(params, DeviceSpec::p100()).compute_detailed(&ps, &ps, &Coulomb);
         assert!(p1.sim.compute_s > tv.sim.compute_s);
         assert_eq!(tv.result.potentials, p1.result.potentials);
     }

@@ -41,7 +41,10 @@ impl LaunchConfig {
     /// Construct with stream 0.
     pub fn new(name: &'static str, grid_blocks: usize, threads_per_block: usize) -> Self {
         assert!(grid_blocks >= 1, "kernel must have at least one block");
-        assert!(threads_per_block >= 1, "kernel must have at least one thread");
+        assert!(
+            threads_per_block >= 1,
+            "kernel must have at least one thread"
+        );
         Self {
             name,
             grid_blocks,
@@ -180,6 +183,7 @@ impl Scheduler {
 
         loop {
             // Promote eligible heads.
+            #[allow(clippy::needless_range_loop)]
             for s in 0..ns {
                 if stream_busy[s] {
                     continue;
@@ -293,7 +297,10 @@ mod tests {
     fn single_kernel_timing() {
         let mut s = sched();
         let work_flops = 1e9;
-        s.enqueue(LaunchConfig::new("k", 1000, 256), WorkEstimate::flops(work_flops));
+        s.enqueue(
+            LaunchConfig::new("k", 1000, 256),
+            WorkEstimate::flops(work_flops),
+        );
         s.synchronize();
         let expect =
             spec().host_enqueue_s + spec().launch_latency_s + spec().exec_seconds(work_flops, 0.0);
@@ -331,8 +338,10 @@ mod tests {
         }
         s.synchronize();
         let exec = spec().exec_seconds(w, 0.0);
-        let expect = 4.0 * spec().host_enqueue_s // host issues up-front
-            .max(0.0)
+        let expect = 4.0
+            * spec()
+                .host_enqueue_s // host issues up-front
+                .max(0.0)
             + 0.0;
         // Lower bound: 4 execs + 4 latencies serialized on one stream.
         let lower = 4.0 * (exec + spec().launch_latency_s);

@@ -117,9 +117,7 @@ mod tests {
 
     #[test]
     fn titan_v_is_faster_than_p100() {
-        assert!(
-            DeviceSpec::titan_v().sustained_gflops() > DeviceSpec::p100().sustained_gflops()
-        );
+        assert!(DeviceSpec::titan_v().sustained_gflops() > DeviceSpec::p100().sustained_gflops());
     }
 
     #[test]

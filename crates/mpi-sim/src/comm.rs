@@ -96,7 +96,9 @@ impl Comm {
 
     /// All-reduce max of an `f64`.
     pub fn all_reduce_max(&self, value: f64) -> f64 {
-        self.all_gather(value).into_iter().fold(f64::NEG_INFINITY, f64::max)
+        self.all_gather(value)
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Create an RMA window exposing `data` (collective, like

@@ -139,7 +139,7 @@ impl<T: Clone> WindowWriteGuard<'_, T> {
             offset + data.len(),
             self.guard.len()
         );
-        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        let bytes = std::mem::size_of_val(data) as u64;
         self.world.record_traffic(self.origin, self.target, bytes);
         self.guard[offset..offset + data.len()].clone_from_slice(data);
     }
@@ -287,6 +287,63 @@ mod tests {
             })
         });
         assert!(result.is_err(), "out-of-bounds get must panic");
+    }
+
+    #[test]
+    fn concurrent_origins_account_bytes_exactly() {
+        // Every rank issues a known per-pair workload concurrently: rank
+        // o gets (o + 1) slots from every other rank, 3 times. The
+        // matrix must end up exactly right despite full contention.
+        let n = 6;
+        let rounds = 3u64;
+        let out = run_spmd(n, |comm| {
+            let win = comm.create_window(vec![0.0f64; n + 1]);
+            let o = comm.rank();
+            for _ in 0..rounds {
+                for t in 0..comm.size() {
+                    if t != o {
+                        let _ = win.lock_shared(t).get(0..o + 1);
+                    }
+                }
+            }
+            comm.barrier();
+        });
+        for o in 0..n {
+            for t in 0..n {
+                let e = out.traffic.get(o, t);
+                if o == t {
+                    assert_eq!(e.messages, 0);
+                } else {
+                    assert_eq!(e.messages, rounds);
+                    assert_eq!(e.bytes, rounds * (o as u64 + 1) * 8);
+                }
+            }
+            assert_eq!(
+                out.traffic.remote_bytes_from(o),
+                rounds * (o as u64 + 1) * 8 * (n as u64 - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn exclusive_epoch_makes_read_modify_write_atomic() {
+        // A get→put read-modify-write inside ONE exclusive epoch must
+        // not lose updates under contention from every rank (the classic
+        // race an MPI_LOCK_EXCLUSIVE epoch exists to prevent).
+        let out = run_spmd(6, |comm| {
+            let win = comm.create_window(vec![0.0f64; 1]);
+            for _ in 0..50 {
+                let mut g = win.lock_exclusive(0);
+                let v = g.get(0..1)[0];
+                g.put(0, &[v + 1.0]);
+            }
+            comm.barrier();
+            let v = win.lock_shared(0).get(0..1)[0];
+            v
+        });
+        for v in out.results {
+            assert_eq!(v, 300.0, "lost update under exclusive epochs");
+        }
     }
 
     #[test]

@@ -67,12 +67,15 @@ impl TrafficMatrix {
     }
 }
 
+/// Per-rank deposit slots of one in-flight collective.
+pub(crate) type RendezvousSlots = Vec<Option<Box<dyn Any + Send>>>;
+
 /// Shared world state (one per `run_spmd` invocation).
 pub(crate) struct World {
     pub(crate) size: usize,
     pub(crate) barrier: Barrier,
     /// Rendezvous slots for collectives, keyed by per-rank call sequence.
-    pub(crate) rendezvous: Mutex<HashMap<u64, Vec<Option<Box<dyn Any + Send>>>>>,
+    pub(crate) rendezvous: Mutex<HashMap<u64, RendezvousSlots>>,
     pub(crate) traffic: Mutex<TrafficMatrix>,
 }
 
@@ -190,7 +193,7 @@ mod tests {
 
     #[test]
     fn closure_can_borrow_environment() {
-        let data = vec![1.0f64, 2.0, 3.0];
+        let data = [1.0f64, 2.0, 3.0];
         let out = run_spmd(3, |comm| data[comm.rank()]);
         assert_eq!(out.results, vec![1.0, 2.0, 3.0]);
     }

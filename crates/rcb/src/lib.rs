@@ -123,7 +123,11 @@ fn recurse(
     // Proportional particle split.
     let n = indices.len();
     let n_lo = ((n as u128 * parts_lo as u128 + (nparts as u128) / 2) / nparts as u128) as usize;
-    let n_lo = if n >= 2 { n_lo.clamp(1, n - 1) } else { n_lo.min(n) };
+    let n_lo = if n >= 2 {
+        n_lo.clamp(1, n - 1)
+    } else {
+        n_lo.min(n)
+    };
 
     // Order by the cut coordinate (total order; ties by index for
     // determinism).

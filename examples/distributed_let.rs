@@ -17,7 +17,10 @@ fn main() {
     let params = BltcParams::new(0.8, 4, 500, 500);
     let cfg = DistConfig::comet(params);
 
-    println!("distributed BLTC: N = {n}, {ranks} ranks ({} per rank)", n / ranks);
+    println!(
+        "distributed BLTC: N = {n}, {ranks} ranks ({} per rank)",
+        n / ranks
+    );
     println!("device/rank: {}, fabric: {}\n", cfg.spec.name, cfg.net.name);
 
     let rep = run_distributed(&ps, ranks, &cfg, &Coulomb);

@@ -16,10 +16,17 @@ fn main() {
     let params = BltcParams::new(0.7, 6, 1000, 1000);
     let spec = DeviceSpec::titan_v();
 
-    println!("device: {} — {} SMs, {:.1} TF/s FP64 peak, {} streams",
-        spec.name, spec.sm_count, spec.peak_dp_gflops / 1000.0, spec.num_streams);
-    println!("problem: N = {n}, θ = {}, n = {}, N_B = N_L = {}\n",
-        params.theta, params.degree, params.batch_cap);
+    println!(
+        "device: {} — {} SMs, {:.1} TF/s FP64 peak, {} streams",
+        spec.name,
+        spec.sm_count,
+        spec.peak_dp_gflops / 1000.0,
+        spec.num_streams
+    );
+    println!(
+        "problem: N = {n}, θ = {}, n = {}, N_B = N_L = {}\n",
+        params.theta, params.degree, params.batch_cap
+    );
 
     let report = GpuEngine::with_spec(params, spec).compute_detailed(&ps, &ps, &Coulomb);
 
@@ -29,14 +36,38 @@ fn main() {
 
     let s = report.sim;
     println!("\nsimulated phase breakdown:");
-    println!("  host setup (tree/batches/lists) : {:>9.3} ms", s.setup_host_s * 1e3);
-    println!("  HtD sources                     : {:>9.3} ms", s.htod_sources_s * 1e3);
-    println!("  precompute kernels              : {:>9.3} ms", s.precompute_s * 1e3);
-    println!("  DtH modified charges            : {:>9.3} ms", s.dtoh_charges_s * 1e3);
-    println!("  HtD targets (LET)               : {:>9.3} ms", s.htod_let_s * 1e3);
-    println!("  compute kernels                 : {:>9.3} ms", s.compute_s * 1e3);
-    println!("  DtH potentials                  : {:>9.3} ms", s.dtoh_potentials_s * 1e3);
-    println!("  total                           : {:>9.3} ms", s.total() * 1e3);
+    println!(
+        "  host setup (tree/batches/lists) : {:>9.3} ms",
+        s.setup_host_s * 1e3
+    );
+    println!(
+        "  HtD sources                     : {:>9.3} ms",
+        s.htod_sources_s * 1e3
+    );
+    println!(
+        "  precompute kernels              : {:>9.3} ms",
+        s.precompute_s * 1e3
+    );
+    println!(
+        "  DtH modified charges            : {:>9.3} ms",
+        s.dtoh_charges_s * 1e3
+    );
+    println!(
+        "  HtD targets (LET)               : {:>9.3} ms",
+        s.htod_let_s * 1e3
+    );
+    println!(
+        "  compute kernels                 : {:>9.3} ms",
+        s.compute_s * 1e3
+    );
+    println!(
+        "  DtH potentials                  : {:>9.3} ms",
+        s.dtoh_potentials_s * 1e3
+    );
+    println!(
+        "  total                           : {:>9.3} ms",
+        s.total() * 1e3
+    );
 
     println!("\nasync-stream sweep (compute phase):");
     for streams in 1..=spec.num_streams {

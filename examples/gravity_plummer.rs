@@ -39,7 +39,8 @@ fn main() {
             .sum::<f64>();
     let u_analytic = -3.0 * std::f64::consts::PI / 32.0 / a; // GM²=1
     println!("Plummer sphere, N = {n}, scale radius a = {a}");
-    println!("tree: {} nodes, depth {}, leaf sizes {}..{}",
+    println!(
+        "tree: {} nodes, depth {}, leaf sizes {}..{}",
         result.tree_stats.nodes,
         result.tree_stats.max_level,
         result.tree_stats.min_leaf,
@@ -49,7 +50,10 @@ fn main() {
     println!("potential energy U  (treecode): {u:.5}");
     println!("potential energy U  (analytic): {u_analytic:.5}");
     let rel = ((u - u_analytic) / u_analytic).abs();
-    println!("relative deviation: {:.2}%  (finite-N sampling + tail clamp)", rel * 100.0);
+    println!(
+        "relative deviation: {:.2}%  (finite-N sampling + tail clamp)",
+        rel * 100.0
+    );
     assert!(err < 1e-5, "treecode error too large: {err}");
     assert!(rel < 0.05, "energy deviates from Plummer analytic value");
     println!("OK");

@@ -29,8 +29,12 @@ fn main() {
     let err = relative_l2_error(&exact, &result.potentials);
 
     println!("N                    : {}", particles.len());
-    println!("tree nodes / leaves  : {} / {}", result.tree_stats.nodes, result.tree_stats.leaves);
-    println!("kernel evaluations   : {} ({}x fewer than direct)",
+    println!(
+        "tree nodes / leaves  : {} / {}",
+        result.tree_stats.nodes, result.tree_stats.leaves
+    );
+    println!(
+        "kernel evaluations   : {} ({}x fewer than direct)",
         result.ops.kernel_evals(),
         (particles.len() as u64 * particles.len() as u64) / result.ops.kernel_evals().max(1),
     );

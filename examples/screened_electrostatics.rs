@@ -39,8 +39,7 @@ fn main() {
             / (2.0 * n as f64);
         let idx = bltc::core::error::sample_indices(n, 300, 5);
         let exact = direct_sum_subset(&ions, &idx, &ions, &kernel);
-        let err =
-            bltc::core::error::sampled_relative_l2_error(&exact, &result.potentials, &idx);
+        let err = bltc::core::error::sampled_relative_l2_error(&exact, &result.potentials, &idx);
         println!(
             "{kappa:>5}  {e:>12.6}  {err:>12.2e}  {:>8.0}",
             result.ops.kernel_evals() as f64 / n as f64

@@ -3,7 +3,13 @@
 
 use bltc::core::prelude::*;
 
-fn error_at(ps: &ParticleSet, exact: &[f64], theta: f64, degree: usize, kernel: &dyn Kernel) -> f64 {
+fn error_at(
+    ps: &ParticleSet,
+    exact: &[f64],
+    theta: f64,
+    degree: usize,
+    kernel: &dyn Kernel,
+) -> f64 {
     let cap = 300.max((degree + 1).pow(3) / 2);
     let params = BltcParams::new(theta, degree, cap, cap);
     let r = SerialEngine::new(params).compute(ps, ps, kernel);
@@ -68,7 +74,10 @@ fn machine_precision_reachable() {
     let r = SerialEngine::new(params).compute(&ps, &ps, &Coulomb);
     let exact = direct_sum(&ps, &ps, &Coulomb);
     let err = relative_l2_error(&exact, &r.potentials);
-    assert!(err < 1e-12, "deep sweep should approach machine precision: {err}");
+    assert!(
+        err < 1e-12,
+        "deep sweep should approach machine precision: {err}"
+    );
 }
 
 #[test]
@@ -106,5 +115,8 @@ fn yukawa_error_comparable_to_coulomb() {
         error_at(&ps, &exact, 0.7, 6, &k)
     };
     let ratio = (ec / ey).max(ey / ec);
-    assert!(ratio < 30.0, "kernels should behave similarly: {ec} vs {ey}");
+    assert!(
+        ratio < 30.0,
+        "kernels should behave similarly: {ec} vs {ey}"
+    );
 }

@@ -9,9 +9,10 @@ use bltc::core::prelude::*;
 use proptest::prelude::*;
 
 fn arb_particles(max_n: usize) -> impl Strategy<Value = ParticleSet> {
-    (
-        prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0), 2..max_n),
-    )
+    (prop::collection::vec(
+        (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0),
+        2..max_n,
+    ),)
         .prop_map(|(rows,)| {
             let mut ps = ParticleSet::with_capacity(rows.len());
             for (x, y, z, q) in rows {
@@ -57,8 +58,8 @@ proptest! {
         let mut covered = vec![0u8; ps.len()];
         for &li in &tree.leaf_indices() {
             let n = tree.node(li);
-            for i in n.start..n.end {
-                covered[i] += 1;
+            for slot in &mut covered[n.start..n.end] {
+                *slot += 1;
             }
         }
         prop_assert!(covered.iter().all(|&c| c == 1));
@@ -97,7 +98,7 @@ proptest! {
             let mut covered = vec![0u8; ps.len()];
             for &ci in bl.approx.iter().chain(&bl.direct) {
                 let c = tree.node(ci as usize);
-                for i in c.start..c.end { covered[i] += 1; }
+                for slot in &mut covered[c.start..c.end] { *slot += 1; }
             }
             prop_assert!(covered.iter().all(|&c| c == 1));
         }
