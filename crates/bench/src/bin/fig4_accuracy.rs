@@ -13,15 +13,23 @@
 //! summation on the same machine, Eq. 16), sampled at `--samples` targets
 //! when N is large.
 //!
+//! With `--forces` the sweep measures the **field** pipeline instead:
+//! gradient-capable kernels (~4× the flops on both device clocks) and
+//! the relative 2-norm error of the sampled gradient components vs the
+//! direct-sum field.
+//!
 //! ```text
-//! cargo run --release --bin fig4_accuracy [-- --n 20000 --samples 500]
+//! cargo run --release --bin fig4_accuracy [-- --n 20000 --samples 500 --forces]
 //! ```
 
-use bltc_bench::{cpu_modeled_seconds, sci, Args};
+use bltc_bench::{
+    cpu_modeled_field_seconds, cpu_modeled_seconds, sampled_gradient_error, sci, Args,
+};
 use bltc_core::cost::CpuSpec;
 use bltc_core::engine::direct_sum_subset;
 use bltc_core::error::{sample_indices, sampled_relative_l2_error};
-use bltc_core::kernel::{Coulomb, Kernel, Yukawa};
+use bltc_core::field::direct_sum_field;
+use bltc_core::kernel::{Coulomb, GradientKernel, Yukawa};
 use bltc_core::prelude::*;
 use bltc_dist::model::HostModel;
 use bltc_gpu::{gpu_direct_sum_modeled_seconds, GpuEngine};
@@ -34,23 +42,36 @@ fn main() {
     let seed = args.usize("seed", 7) as u64;
     let cap = args.usize("cap", (n / 50).max(512));
     let max_degree = args.usize("max-degree", 9);
+    let forces = args.flag("forces");
 
     let ps = ParticleSet::random_cube(n, seed);
     let cpu = CpuSpec::xeon_x5650();
     let spec = DeviceSpec::titan_v();
     let idx = sample_indices(n, samples, seed ^ 0xbeef);
 
-    println!("Fig. 4 — run time vs error, N = {n}, N_B = N_L = {cap}");
+    let mode = if forces { "forces" } else { "potentials" };
+    println!("Fig. 4 — run time vs error ({mode}), N = {n}, N_B = N_L = {cap}");
     println!("device: {} (modeled) vs {} (modeled)", spec.name, cpu.name);
     println!("errors: relative 2-norm vs direct summation at {samples} sampled targets\n");
 
-    let kernels: Vec<Box<dyn Kernel>> = vec![Box::new(Coulomb), Box::new(Yukawa::default())];
+    let kernels: Vec<Box<dyn GradientKernel>> =
+        vec![Box::new(Coulomb), Box::new(Yukawa::default())];
     for kernel in &kernels {
-        let exact = direct_sum_subset(&ps, &idx, &ps, kernel.as_ref());
+        let exact_pot = (!forces).then(|| direct_sum_subset(&ps, &idx, &ps, kernel.as_ref()));
+        let exact_field = forces.then(|| direct_sum_field(&ps.subset(&idx), &ps, kernel.as_ref()));
 
-        // Direct-summation reference lines (the red lines of Fig. 4).
-        let t_ds_gpu = gpu_direct_sum_modeled_seconds(spec, n, n, kernel.as_ref());
-        let t_ds_cpu = cpu.seconds(n as f64 * n as f64 * kernel.flops_per_eval_cpu());
+        // Direct-summation reference lines (the red lines of Fig. 4),
+        // scaled by the kernel's own gradient-flop ratio in forces mode.
+        let (gpu_scale, cpu_scale) = if forces {
+            (
+                kernel.grad_flops_per_eval_gpu() / kernel.flops_per_eval_gpu(),
+                kernel.grad_flops_per_eval_cpu() / kernel.flops_per_eval_cpu(),
+            )
+        } else {
+            (1.0, 1.0)
+        };
+        let t_ds_gpu = gpu_scale * gpu_direct_sum_modeled_seconds(spec, n, n, kernel.as_ref());
+        let t_ds_cpu = cpu_scale * cpu.seconds(n as f64 * n as f64 * kernel.flops_per_eval_cpu());
         println!("== {} ==", kernel.name());
         println!(
             "direct sum:  cpu {:>10} s   gpu {:>10} s",
@@ -65,18 +86,42 @@ fn main() {
             let mut degree = 1;
             while degree <= max_degree {
                 let params = BltcParams::new(theta, degree, cap, cap);
-                let report =
-                    GpuEngine::with_spec(params, spec).compute_detailed(&ps, &ps, kernel.as_ref());
-                let err = sampled_relative_l2_error(&exact, &report.result.potentials, &idx);
+                let engine = GpuEngine::with_spec(params, spec);
+                // (err, ops, tree levels, modeled device seconds sans host setup)
+                let (err, ops, levels, sim_s) = if forces {
+                    let report = engine.compute_field_detailed(&ps, &ps, kernel.as_ref());
+                    let err =
+                        sampled_gradient_error(exact_field.as_ref().unwrap(), &report.field, &idx);
+                    let levels = report.tree_stats.max_level + 1;
+                    (
+                        err,
+                        report.ops,
+                        levels,
+                        report.sim.total() - report.sim.setup_host_s,
+                    )
+                } else {
+                    let report = engine.compute_detailed(&ps, &ps, kernel.as_ref());
+                    let err = sampled_relative_l2_error(
+                        exact_pot.as_ref().unwrap(),
+                        &report.result.potentials,
+                        &idx,
+                    );
+                    let levels = report.result.tree_stats.max_level + 1;
+                    (
+                        err,
+                        report.result.ops,
+                        levels,
+                        report.sim.total() - report.sim.setup_host_s,
+                    )
+                };
                 // Shared host-setup model for both devices.
-                let setup = HostModel::default().setup_seconds(
-                    n,
-                    report.result.tree_stats.max_level + 1,
-                    report.result.ops.kernel_launches,
-                    0,
-                );
-                let t_gpu = report.sim.total() - report.sim.setup_host_s + setup;
-                let t_cpu = cpu_modeled_seconds(&report.result.ops, kernel.as_ref(), setup, &cpu);
+                let setup = HostModel::default().setup_seconds(n, levels, ops.kernel_launches, 0);
+                let t_gpu = sim_s + setup;
+                let t_cpu = if forces {
+                    cpu_modeled_field_seconds(&ops, kernel.as_ref(), setup, &cpu)
+                } else {
+                    cpu_modeled_seconds(&ops, kernel.as_ref(), setup, &cpu)
+                };
                 let speedup = t_cpu / t_gpu;
                 min_speedup = min_speedup.min(speedup);
                 max_speedup = max_speedup.max(speedup);
@@ -85,7 +130,7 @@ fn main() {
                     sci(err),
                     sci(t_cpu),
                     sci(t_gpu),
-                    report.result.ops.kernel_evals() as f64 / n as f64,
+                    ops.kernel_evals() as f64 / n as f64,
                 );
                 // Stop the sweep once machine precision is reached.
                 if err < 1e-15 {

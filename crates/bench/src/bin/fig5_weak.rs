@@ -12,16 +12,22 @@
 //! launch-bound — see EXPERIMENTS.md). Run times are the bulk-synchronous model:
 //! max-over-ranks of (setup + precompute + compute).
 //!
+//! With `--forces` every configuration runs the distributed **field**
+//! pipeline (`run_distributed_field`): gradient kernels on every rank
+//! (~4× compute flops on the device clock, same LET traffic) and the
+//! sampled error reported over the gradient components.
+//!
 //! ```text
-//! cargo run --release --bin fig5_weak [-- --per-rank 4000 --max-ranks 32]
+//! cargo run --release --bin fig5_weak [-- --per-rank 4000 --max-ranks 32 --forces]
 //! ```
 
-use bltc_bench::{sci, Args};
+use bltc_bench::{sampled_gradient_error, sci, Args};
 use bltc_core::engine::direct_sum_subset;
 use bltc_core::error::{sample_indices, sampled_relative_l2_error};
-use bltc_core::kernel::{Coulomb, Kernel, Yukawa};
+use bltc_core::field::direct_sum_field;
+use bltc_core::kernel::{Coulomb, GradientKernel, Yukawa};
 use bltc_core::prelude::*;
-use bltc_dist::{run_distributed, DistConfig};
+use bltc_dist::{run_distributed, run_distributed_field, DistConfig};
 
 fn main() {
     let args = Args::from_env();
@@ -31,16 +37,19 @@ fn main() {
     let degree = args.usize("degree", 4);
     let cap = args.usize("cap", 1000);
     let seed = args.usize("seed", 11) as u64;
+    let forces = args.flag("forces");
     let params = BltcParams::new(theta, degree, cap, cap);
 
-    println!("Fig. 5 — weak scaling (θ = {theta}, n = {degree}, N_L = N_B = {cap})");
+    let mode = if forces { "forces" } else { "potentials" };
+    println!("Fig. 5 — weak scaling ({mode}, θ = {theta}, n = {degree}, N_L = N_B = {cap})");
     println!(
         "per-rank sizes: {base}, {}, {} (paper: 8M, 16M, 32M)\n",
         2 * base,
         4 * base
     );
 
-    let kernels: Vec<Box<dyn Kernel>> = vec![Box::new(Coulomb), Box::new(Yukawa::default())];
+    let kernels: Vec<Box<dyn GradientKernel>> =
+        vec![Box::new(Coulomb), Box::new(Yukawa::default())];
     let mut ranks_list = vec![1usize];
     while *ranks_list.last().unwrap() < max_ranks {
         ranks_list.push(ranks_list.last().unwrap() * 2);
@@ -56,22 +65,46 @@ fn main() {
                 let n = per_rank * ranks;
                 let ps = ParticleSet::random_cube(n, seed + ranks as u64);
                 let cfg = DistConfig::comet(params);
-                let rep = run_distributed(&ps, ranks, &cfg, kernel.as_ref());
-                let total = rep.total_s;
-                let phase_sum = rep.setup_s + rep.precompute_s + rep.compute_s;
+                // Sampled error of the largest configuration (paper
+                // reports 7.6e-6 / 1.5e-5 at 1.024B).
+                let idx =
+                    (ranks == *ranks_list.last().unwrap()).then(|| sample_indices(n, 200, seed));
+                let (setup_s, precompute_s, compute_s, total, err) = if forces {
+                    let rep = run_distributed_field(&ps, ranks, &cfg, kernel.as_ref());
+                    let err = idx.as_ref().map(|idx| {
+                        let exact = direct_sum_field(&ps.subset(idx), &ps, kernel.as_ref());
+                        sampled_gradient_error(&exact, &rep.field, idx)
+                    });
+                    (
+                        rep.setup_s,
+                        rep.precompute_s,
+                        rep.compute_s,
+                        rep.total_s,
+                        err,
+                    )
+                } else {
+                    let rep = run_distributed(&ps, ranks, &cfg, kernel.as_ref());
+                    let err = idx.as_ref().map(|idx| {
+                        let exact = direct_sum_subset(&ps, idx, &ps, kernel.as_ref());
+                        sampled_relative_l2_error(&exact, &rep.potentials, idx)
+                    });
+                    (
+                        rep.setup_s,
+                        rep.precompute_s,
+                        rep.compute_s,
+                        rep.total_s,
+                        err,
+                    )
+                };
+                let phase_sum = setup_s + precompute_s + compute_s;
                 println!(
                     "{per_rank:>8}  {ranks:>8}  {n:>9}  {:>12}  {:>6.1}  {:>8.1}  {:>8.1}",
                     sci(total),
-                    100.0 * rep.setup_s / phase_sum,
-                    100.0 * rep.precompute_s / phase_sum,
-                    100.0 * rep.compute_s / phase_sum,
+                    100.0 * setup_s / phase_sum,
+                    100.0 * precompute_s / phase_sum,
+                    100.0 * compute_s / phase_sum,
                 );
-                if ranks == *ranks_list.last().unwrap() {
-                    // Sampled error of the largest configuration (paper
-                    // reports 7.6e-6 / 1.5e-5 at 1.024B).
-                    let idx = sample_indices(n, 200, seed);
-                    let exact = direct_sum_subset(&ps, &idx, &ps, kernel.as_ref());
-                    let err = sampled_relative_l2_error(&exact, &rep.potentials, &idx);
+                if let Some(err) = err {
                     largest = Some((n, total, err));
                 }
             }

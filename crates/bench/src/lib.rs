@@ -20,7 +20,9 @@
 //! Criterion micro-benchmarks live in `benches/microbench.rs`.
 
 use bltc_core::cost::{CpuSpec, OpCounts};
-use bltc_core::kernel::Kernel;
+use bltc_core::error::relative_l2_error;
+use bltc_core::field::FieldResult;
+use bltc_core::kernel::{GradientKernel, Kernel};
 
 /// Tiny argument parser: `--key value` pairs with typed lookup.
 pub struct Args {
@@ -88,6 +90,32 @@ pub fn cpu_modeled_seconds(
     setup_seconds + cpu.seconds(flops)
 }
 
+/// Modeled CPU run time of a treecode **field** (potential + gradient)
+/// evaluation — the `--forces` counterpart of [`cpu_modeled_seconds`];
+/// gradient kernels charge ~4× the compute flops.
+pub fn cpu_modeled_field_seconds(
+    ops: &OpCounts,
+    kernel: &dyn GradientKernel,
+    setup_seconds: f64,
+    cpu: &CpuSpec,
+) -> f64 {
+    let flops = ops.field_flops(kernel, false) + ops.precompute_flops();
+    setup_seconds + cpu.seconds(flops)
+}
+
+/// Relative 2-norm error over the three gradient components at sampled
+/// targets. `exact` is indexed in sample order (0..idx.len()); `approx`
+/// is a full-problem field indexed by the original ids in `idx`.
+pub fn sampled_gradient_error(exact: &FieldResult, approx: &FieldResult, idx: &[usize]) -> f64 {
+    let mut e = Vec::with_capacity(idx.len() * 3);
+    let mut a = Vec::with_capacity(idx.len() * 3);
+    for (s, &i) in idx.iter().enumerate() {
+        e.extend_from_slice(&[exact.gx[s], exact.gy[s], exact.gz[s]]);
+        a.extend_from_slice(&[approx.gx[i], approx.gy[i], approx.gz[i]]);
+    }
+    relative_l2_error(&e, &a)
+}
+
 /// Scientific-notation formatting for table cells.
 pub fn sci(v: f64) -> String {
     if v == 0.0 {
@@ -115,6 +143,36 @@ mod tests {
         assert!(a.flag("full"));
         assert!(!a.flag("missing"));
         assert_eq!(a.usize("absent", 7), 7);
+    }
+
+    #[test]
+    fn field_model_is_4x_compute_portion() {
+        let cpu = CpuSpec::xeon_x5650();
+        let ops = OpCounts {
+            direct_interactions: 1_000_000,
+            ..Default::default()
+        };
+        let pot = cpu_modeled_seconds(&ops, &Coulomb, 0.0, &cpu);
+        let fld = cpu_modeled_field_seconds(&ops, &Coulomb, 0.0, &cpu);
+        assert!((fld / pot - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_gradient_error_indexes_correctly() {
+        let idx = vec![4usize, 17, 42];
+        let full = FieldResult {
+            potentials: vec![0.0; 50],
+            gx: (0..50).map(|i| i as f64).collect(),
+            gy: vec![1.0; 50],
+            gz: vec![2.0; 50],
+        };
+        let exact = FieldResult {
+            potentials: vec![0.0; 3],
+            gx: idx.iter().map(|&i| i as f64).collect(),
+            gy: vec![1.0; 3],
+            gz: vec![2.0; 3],
+        };
+        assert_eq!(sampled_gradient_error(&exact, &full, &idx), 0.0);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!    ≥100× speedup *shape* without NVIDIA hardware.
 
 use crate::config::BltcParams;
-use crate::kernel::Kernel;
+use crate::kernel::{GradientKernel, Kernel};
 use crate::traversal::InteractionLists;
 use crate::tree::{batch::TargetBatches, SourceTree};
 
@@ -106,6 +106,20 @@ impl OpCounts {
             kernel.flops_per_eval_gpu()
         } else {
             kernel.flops_per_eval_cpu()
+        };
+        self.kernel_evals() as f64 * per
+    }
+
+    /// Compute-phase flops of a **field** (potential + gradient)
+    /// evaluation on a given device class. Gradient kernels charge ~4×
+    /// the potential-only flops (see
+    /// [`GradientKernel::grad_flops_per_eval_gpu`]), which is how force
+    /// evaluation shows up in the modeled clocks.
+    pub fn field_flops(&self, kernel: &dyn GradientKernel, gpu: bool) -> f64 {
+        let per = if gpu {
+            kernel.grad_flops_per_eval_gpu()
+        } else {
+            kernel.grad_flops_per_eval_cpu()
         };
         self.kernel_evals() as f64 * per
     }
@@ -233,6 +247,17 @@ mod tests {
         let gc = c.compute_flops(&Coulomb, true);
         let gy = c.compute_flops(&Yukawa::default(), true);
         assert!((gy / gc - 1.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn field_flops_are_about_4x_compute_flops() {
+        let params = BltcParams::new(0.7, 4, 100, 100);
+        let c = counts(2_000, &params);
+        for gpu in [false, true] {
+            let pot = c.compute_flops(&Coulomb, gpu);
+            let fld = c.field_flops(&Coulomb, gpu);
+            assert!((fld / pot - 4.0).abs() < 1e-12, "gpu={gpu}: {}", fld / pot);
+        }
     }
 
     #[test]

@@ -11,9 +11,12 @@
 
 use rayon::prelude::*;
 
+use crate::charges::ClusterCharges;
 use crate::engine::PreparedTreecode;
 use crate::kernel::GradientKernel;
 use crate::particles::ParticleSet;
+use crate::traversal::BatchLists;
+use crate::tree::{batch::Batch, SourceTree};
 
 /// Potentials and their gradients at every target, in original target
 /// order. The force on charge `q_i` is `-q_i · (gx, gy, gz)[i]`.
@@ -29,6 +32,73 @@ pub struct FieldResult {
     pub gz: Vec<f64>,
 }
 
+/// Evaluate one batch's potentials **and gradients** against its
+/// interaction lists, accumulating into the four batch-local output
+/// slices (each of length `batch.num_targets()`). This is the field
+/// counterpart of [`crate::engine::eval_batch_into`] — the same loop
+/// structure, with a four-output kernel — and is the scalar body shared
+/// by the serial path, the rayon path, and the simulated-GPU field
+/// kernels (which must stay bitwise identical to it).
+#[allow(clippy::too_many_arguments)]
+pub fn eval_field_batch_into(
+    batch: &Batch,
+    lists: &BatchLists,
+    tree: &SourceTree,
+    charges: &ClusterCharges,
+    targets: &ParticleSet,
+    kernel: &dyn GradientKernel,
+    pot: &mut [f64],
+    gx: &mut [f64],
+    gy: &mut [f64],
+    gz: &mut [f64],
+) {
+    debug_assert_eq!(pot.len(), batch.num_targets());
+    // Approximation path (Eq. 11): proxies with modified charges.
+    for &ci in &lists.approx {
+        let ci = ci as usize;
+        let grid = charges.grid(ci);
+        let qhat = charges.charges(ci);
+        assert!(!qhat.is_empty(), "charges missing for cluster {ci}");
+        for (i, t) in (batch.start..batch.end).enumerate() {
+            let (tx, ty, tz) = (targets.x[t], targets.y[t], targets.z[t]);
+            let (mut p, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
+            for (k, &qh) in qhat.iter().enumerate() {
+                let s = grid.point_linear(k);
+                let (g, dgx, dgy, dgz) = kernel.eval_with_grad(tx - s.x, ty - s.y, tz - s.z);
+                p += g * qh;
+                ax += dgx * qh;
+                ay += dgy * qh;
+                az += dgz * qh;
+            }
+            pot[i] += p;
+            gx[i] += ax;
+            gy[i] += ay;
+            gz[i] += az;
+        }
+    }
+    // Direct path (Eq. 9): cluster sources.
+    let sp = tree.particles();
+    for &ci in &lists.direct {
+        let node = tree.node(ci as usize);
+        for (i, t) in (batch.start..batch.end).enumerate() {
+            let (tx, ty, tz) = (targets.x[t], targets.y[t], targets.z[t]);
+            let (mut p, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
+            for j in node.start..node.end {
+                let (g, dgx, dgy, dgz) =
+                    kernel.eval_with_grad(tx - sp.x[j], ty - sp.y[j], tz - sp.z[j]);
+                p += g * sp.q[j];
+                ax += dgx * sp.q[j];
+                ay += dgy * sp.q[j];
+                az += dgz * sp.q[j];
+            }
+            pot[i] += p;
+            gx[i] += ax;
+            gy[i] += ay;
+            gz[i] += az;
+        }
+    }
+}
+
 impl PreparedTreecode {
     /// Evaluate potentials and gradients serially over the interaction
     /// lists (same preparation as potential-only evaluation — the
@@ -41,54 +111,54 @@ impl PreparedTreecode {
         let mut gy = vec![0.0; n];
         let mut gz = vec![0.0; n];
 
-        let sp = self.tree.particles();
         for (b, bl) in self.batches.batches().iter().zip(&self.lists.per_batch) {
-            // Approximation path: proxies with modified charges.
-            for &ci in &bl.approx {
-                let ci = ci as usize;
-                let grid = self.charges.grid(ci);
-                let qhat = self.charges.charges(ci);
-                assert!(!qhat.is_empty(), "charges missing for cluster {ci}");
-                for t in b.start..b.end {
-                    let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
-                    let (mut p, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
-                    for (k, &qh) in qhat.iter().enumerate() {
-                        let s = grid.point_linear(k);
-                        let (g, dgx, dgy, dgz) =
-                            kernel.eval_with_grad(tx - s.x, ty - s.y, tz - s.z);
-                        p += g * qh;
-                        ax += dgx * qh;
-                        ay += dgy * qh;
-                        az += dgz * qh;
-                    }
-                    pot[t] += p;
-                    gx[t] += ax;
-                    gy[t] += ay;
-                    gz[t] += az;
-                }
-            }
-            // Direct path: cluster sources.
-            for &ci in &bl.direct {
-                let node = self.tree.node(ci as usize);
-                for t in b.start..b.end {
-                    let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
-                    let (mut p, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
-                    for j in node.start..node.end {
-                        let (g, dgx, dgy, dgz) =
-                            kernel.eval_with_grad(tx - sp.x[j], ty - sp.y[j], tz - sp.z[j]);
-                        p += g * sp.q[j];
-                        ax += dgx * sp.q[j];
-                        ay += dgy * sp.q[j];
-                        az += dgz * sp.q[j];
-                    }
-                    pot[t] += p;
-                    gx[t] += ax;
-                    gy[t] += ay;
-                    gz[t] += az;
-                }
-            }
+            let r = b.start..b.end;
+            let (p, x, y, z) = (
+                &mut pot[r.clone()],
+                &mut gx[r.clone()],
+                &mut gy[r.clone()],
+                &mut gz[r],
+            );
+            eval_field_batch_into(b, bl, &self.tree, &self.charges, tp, kernel, p, x, y, z);
         }
 
+        FieldResult {
+            potentials: self.batches.scatter_to_original(&pot),
+            gx: self.batches.scatter_to_original(&gx),
+            gy: self.batches.scatter_to_original(&gy),
+            gz: self.batches.scatter_to_original(&gz),
+        }
+    }
+
+    /// Evaluate potentials and gradients with one rayon task per batch.
+    /// Batches own disjoint contiguous target ranges, so the result is
+    /// deterministic and bitwise identical to [`Self::evaluate_field`].
+    pub fn evaluate_field_parallel(&self, kernel: &dyn GradientKernel) -> FieldResult {
+        let tp = self.batches.particles();
+        let n = tp.len();
+        let per_batch: Vec<[Vec<f64>; 4]> = self
+            .batches
+            .batches()
+            .par_iter()
+            .zip(&self.lists.per_batch)
+            .map(|(b, bl)| {
+                let nb = b.num_targets();
+                let mut out = [vec![0.0; nb], vec![0.0; nb], vec![0.0; nb], vec![0.0; nb]];
+                let [p, x, y, z] = &mut out;
+                eval_field_batch_into(b, bl, &self.tree, &self.charges, tp, kernel, p, x, y, z);
+                out
+            })
+            .collect();
+        let mut pot = vec![0.0; n];
+        let mut gx = vec![0.0; n];
+        let mut gy = vec![0.0; n];
+        let mut gz = vec![0.0; n];
+        for (b, [p, x, y, z]) in self.batches.batches().iter().zip(&per_batch) {
+            pot[b.start..b.end].copy_from_slice(p);
+            gx[b.start..b.end].copy_from_slice(x);
+            gy[b.start..b.end].copy_from_slice(y);
+            gz[b.start..b.end].copy_from_slice(z);
+        }
         FieldResult {
             potentials: self.batches.scatter_to_original(&pot),
             gx: self.batches.scatter_to_original(&gx),
@@ -212,6 +282,25 @@ mod tests {
             prev = err;
         }
         assert!(prev < 1e-4);
+    }
+
+    #[test]
+    fn parallel_field_matches_serial_bitwise() {
+        let ps = ParticleSet::random_cube(1800, 504);
+        let params = BltcParams::new(0.7, 5, 90, 90);
+        let prep = PreparedTreecode::new(&ps, &ps, params);
+        for k in [
+            &Coulomb as &dyn GradientKernel,
+            &Yukawa::new(0.5),
+            &RegularizedCoulomb::new(0.05),
+        ] {
+            let s = prep.evaluate_field(k);
+            let p = prep.evaluate_field_parallel(k);
+            assert_eq!(s.potentials, p.potentials, "{}", k.name());
+            assert_eq!(s.gx, p.gx, "{}", k.name());
+            assert_eq!(s.gy, p.gy, "{}", k.name());
+            assert_eq!(s.gz, p.gz, "{}", k.name());
+        }
     }
 
     #[test]

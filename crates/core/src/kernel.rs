@@ -60,10 +60,19 @@ pub trait GradientKernel: Kernel {
     /// for singular kernels (the self-interaction convention).
     fn eval_with_grad(&self, dx: f64, dy: f64, dz: f64) -> (f64, f64, f64, f64);
 
-    /// Flop-equivalents per gradient evaluation on the GPU (potential +
-    /// three derivatives share most subexpressions).
+    /// Flop-equivalents per gradient evaluation on the GPU. A field
+    /// evaluation produces four outputs (potential + three derivatives)
+    /// and quadruples the multiply/accumulate traffic even though the
+    /// radial subexpressions are shared — ~4× a potential-only
+    /// evaluation, which is what the device clock charges.
     fn grad_flops_per_eval_gpu(&self) -> f64 {
-        self.flops_per_eval_gpu() * 2.0
+        self.flops_per_eval_gpu() * 4.0
+    }
+
+    /// Flop-equivalents per gradient evaluation on a CPU core (same ~4×
+    /// argument as [`GradientKernel::grad_flops_per_eval_gpu`]).
+    fn grad_flops_per_eval_cpu(&self) -> f64 {
+        self.flops_per_eval_cpu() * 4.0
     }
 }
 
@@ -385,6 +394,23 @@ mod tests {
         let gpu_ratio = y.flops_per_eval_gpu() / c.flops_per_eval_gpu();
         assert!((cpu_ratio - 1.8).abs() < 0.05, "cpu ratio {cpu_ratio}");
         assert!((gpu_ratio - 1.5).abs() < 0.05, "gpu ratio {gpu_ratio}");
+    }
+
+    #[test]
+    fn gradient_flop_model_is_4x_per_device() {
+        // Force kernels (potential + three derivatives) charge ~4× the
+        // potential-only flops on both device classes — the cost the
+        // distributed field pipeline's clocks must reflect.
+        let kernels: Vec<Box<dyn GradientKernel>> = vec![
+            Box::new(Coulomb),
+            Box::new(Yukawa::default()),
+            Box::new(RegularizedCoulomb::new(0.1)),
+            Box::new(Gaussian::new(1.0)),
+        ];
+        for k in &kernels {
+            assert_eq!(k.grad_flops_per_eval_gpu(), k.flops_per_eval_gpu() * 4.0);
+            assert_eq!(k.grad_flops_per_eval_cpu(), k.flops_per_eval_cpu() * 4.0);
+        }
     }
 
     #[test]

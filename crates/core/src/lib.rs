@@ -56,7 +56,8 @@ pub mod prelude {
     pub use crate::config::BltcParams;
     pub use crate::cost::{CpuSpec, OpCounts};
     pub use crate::engine::{
-        direct_sum, direct_sum_subset, ComputeResult, ParallelEngine, SerialEngine, TreecodeEngine,
+        direct_sum, direct_sum_subset, ComputeResult, ParallelEngine, PreparedTreecode,
+        SerialEngine, TreecodeEngine,
     };
     pub use crate::error::{relative_l2_error, sampled_relative_l2_error};
     pub use crate::field::{direct_sum_field, FieldResult};

@@ -16,7 +16,7 @@ use bltc_core::config::BltcParams;
 use bltc_core::cost::OpCounts;
 use bltc_core::geometry::{BoundingBox, Point3};
 use bltc_core::interp::tensor::TensorGrid;
-use bltc_core::kernel::Kernel;
+use bltc_core::kernel::{GradientKernel, Kernel};
 use bltc_core::mac::{Mac, MacDecision};
 use bltc_core::tree::{batch::TargetBatches, ClusterNode};
 use mpi_sim::Window;
@@ -283,6 +283,79 @@ pub(crate) fn eval_remote_into(
             ops.direct_interactions += (nb * p.x.len()) as u64;
             ops.kernel_launches += 1;
             *device_bytes += ((nb * 4 + p.x.len() * 4) * 8) as f64;
+        }
+    }
+}
+
+/// Evaluate this LET's contribution to the rank's potentials **and
+/// gradients** — the field counterpart of [`eval_remote_into`].
+///
+/// The four output slices are indexed in reordered (batch) target order.
+/// The scalar math mirrors `bltc_core::field::eval_field_batch_into`
+/// applied to the fetched remote data; no RMA happens here — the LET was
+/// fully fetched during setup, so gradient evaluation adds **zero**
+/// communication (an invariant the test suite asserts against the
+/// runtime's traffic matrix). `device_bytes` accumulates per-launch
+/// memory traffic with four output arrays per target instead of one.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_remote_field_into(
+    let_view: &RemoteLet,
+    batches: &TargetBatches,
+    kernel: &dyn GradientKernel,
+    pot: &mut [f64],
+    gx: &mut [f64],
+    gy: &mut [f64],
+    gz: &mut [f64],
+    ops: &mut OpCounts,
+    device_bytes: &mut f64,
+) {
+    let tp = batches.particles();
+    for (b, (approx, direct)) in batches.batches().iter().zip(&let_view.per_batch) {
+        let nb = b.num_targets();
+        for &ci in approx {
+            let grid = &let_view.grids[&ci];
+            let qh = &let_view.qhat[&ci];
+            for t in b.start..b.end {
+                let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
+                let (mut p, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
+                for (k, &q) in qh.iter().enumerate() {
+                    let s = grid.point_linear(k);
+                    let (g, dgx, dgy, dgz) = kernel.eval_with_grad(tx - s.x, ty - s.y, tz - s.z);
+                    p += g * q;
+                    ax += dgx * q;
+                    ay += dgy * q;
+                    az += dgz * q;
+                }
+                pot[t] += p;
+                gx[t] += ax;
+                gy[t] += ay;
+                gz[t] += az;
+            }
+            ops.approx_interactions += (nb * qh.len()) as u64;
+            ops.kernel_launches += 1;
+            *device_bytes += ((nb * 7 + qh.len() * 4) * 8) as f64;
+        }
+        for &ci in direct {
+            let p = &let_view.parts[&ci];
+            for t in b.start..b.end {
+                let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
+                let (mut acc, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
+                for j in 0..p.x.len() {
+                    let (g, dgx, dgy, dgz) =
+                        kernel.eval_with_grad(tx - p.x[j], ty - p.y[j], tz - p.z[j]);
+                    acc += g * p.q[j];
+                    ax += dgx * p.q[j];
+                    ay += dgy * p.q[j];
+                    az += dgz * p.q[j];
+                }
+                pot[t] += acc;
+                gx[t] += ax;
+                gy[t] += ay;
+                gz[t] += az;
+            }
+            ops.direct_interactions += (nb * p.x.len()) as u64;
+            ops.kernel_launches += 1;
+            *device_bytes += ((nb * 7 + p.x.len() * 4) * 8) as f64;
         }
     }
 }

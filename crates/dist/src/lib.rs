@@ -25,6 +25,23 @@
 //! communication through the α–β model over the recorded one-sided
 //! traffic — so two runs differing only in fabric produce identical
 //! potentials and differ exactly in the modeled communication seconds.
+//!
+//! ## Force fields
+//!
+//! Two entry points share the pipeline above:
+//!
+//! - [`run_distributed`] — potentials only (`&dyn Kernel`),
+//! - [`run_distributed_field`] — potentials **and** 3-component
+//!   gradients (`&dyn GradientKernel`), for the astrophysics / MD
+//!   workloads where forces `F = -q∇φ` are the quantity of interest.
+//!
+//! The field path reuses the *same* LET: modified charges and fetched
+//! particles differentiate for free with respect to the target, so
+//! gradient evaluation adds **no** RMA traffic — only gradient-capable
+//! device kernels (~4× the flops, charged to the device clock) and a 4×
+//! DtH volume. Every rank's one-sided traffic is reported in
+//! [`RankReport::let_messages`]/[`RankReport::let_bytes`] and must
+//! reconcile exactly with the runtime's [`TrafficMatrix`].
 
 mod letree;
 pub mod model;
@@ -34,16 +51,19 @@ pub use model::HostModel;
 use bltc_core::charges::ClusterCharges;
 use bltc_core::config::BltcParams;
 use bltc_core::cost::OpCounts;
-use bltc_core::kernel::Kernel;
+use bltc_core::field::FieldResult;
+use bltc_core::kernel::{GradientKernel, Kernel};
 use bltc_core::particles::ParticleSet;
 use bltc_core::tree::{batch::TargetBatches, SourceTree};
-use bltc_gpu::GpuEngine;
+use bltc_gpu::{GpuEngine, GpuSimBreakdown};
 use gpu_sim::DeviceSpec;
 use mpi_sim::runtime::TrafficMatrix;
-use mpi_sim::{run_spmd, NetworkSpec};
-use rcb::{partition_particles, rcb_partition};
+use mpi_sim::{run_spmd, Comm, NetworkSpec, Window};
+use rcb::{partition_particles, rcb_partition, RcbPartition};
 
-use letree::{build_remote_let, eval_remote_into, CommTally, NodeMeta};
+use letree::{
+    build_remote_let, eval_remote_field_into, eval_remote_into, CommTally, NodeMeta, RemoteLet,
+};
 
 /// Configuration of a distributed run: treecode parameters plus the
 /// hardware models of one compute node class and its fabric.
@@ -107,6 +127,13 @@ pub struct RankReport {
     pub num_batches: usize,
     /// LET construction statistics.
     pub let_stats: LetStats,
+    /// One-sided RMA operations this rank originated. **All** of a
+    /// rank's communication happens during LET construction (setup);
+    /// evaluation — potential or gradient — adds none, so these tallies
+    /// must reconcile exactly with the run's [`TrafficMatrix`].
+    pub let_messages: u64,
+    /// Payload bytes of those one-sided operations.
+    pub let_bytes: u64,
     /// Modeled host seconds (tree/batch/list build + LET assembly).
     pub setup_host_s: f64,
     /// Modeled communication seconds (α–β over this rank's one-sided
@@ -167,6 +194,41 @@ impl DistReport {
     }
 }
 
+/// Aggregate result of a distributed **field** (potential + gradient)
+/// run: the per-rank field results assembled back into original target
+/// order, plus the same per-rank/phase/traffic accounting as
+/// [`DistReport`].
+#[derive(Debug, Clone)]
+pub struct DistFieldReport {
+    /// Potentials and gradients in the *original* (global) target order.
+    /// The force on charge `q_i` is `-q_i · (gx, gy, gz)[i]`.
+    pub field: FieldResult,
+    /// Per-rank reports, indexed by rank.
+    pub ranks: Vec<RankReport>,
+    /// One-sided traffic recorded by the runtime, per (origin, target).
+    /// Identical to the potential-only run on the same problem: the
+    /// field path fetches nothing extra.
+    pub traffic: TrafficMatrix,
+    /// Bulk-synchronous setup seconds: max over ranks.
+    pub setup_s: f64,
+    /// Bulk-synchronous precompute seconds: max over ranks.
+    pub precompute_s: f64,
+    /// Bulk-synchronous compute seconds: max over ranks (~4× the
+    /// potential-only compute phase — gradient kernels).
+    pub compute_s: f64,
+    /// Modeled run time: max over ranks of the per-rank totals.
+    pub total_s: f64,
+}
+
+impl DistFieldReport {
+    /// Exact aggregate op counts over all ranks.
+    pub fn total_ops(&self) -> OpCounts {
+        self.ranks
+            .iter()
+            .fold(OpCounts::default(), |acc, r| acc.merged(&r.ops))
+    }
+}
+
 /// Object-safe delegation so `run_distributed` accepts both concrete
 /// kernels (`&Coulomb`) and trait objects (`&dyn Kernel`).
 struct KernelRef<'a, K: Kernel + ?Sized>(&'a K);
@@ -193,6 +255,166 @@ impl<K: Kernel + ?Sized> Kernel for KernelRef<'_, K> {
     }
 }
 
+/// Gradient-capable delegation: a [`KernelRef`] over a gradient kernel
+/// is itself a [`GradientKernel`].
+impl<K: GradientKernel + ?Sized> GradientKernel for KernelRef<'_, K> {
+    fn eval_with_grad(&self, dx: f64, dy: f64, dz: f64) -> (f64, f64, f64, f64) {
+        self.0.eval_with_grad(dx, dy, dz)
+    }
+
+    fn grad_flops_per_eval_gpu(&self) -> f64 {
+        self.0.grad_flops_per_eval_gpu()
+    }
+
+    fn grad_flops_per_eval_cpu(&self) -> f64 {
+        self.0.grad_flops_per_eval_cpu()
+    }
+}
+
+/// Everything one rank builds during the setup phase: local structures,
+/// the three exposed RMA windows (kept alive so remote ranks can keep
+/// fetching until the closing barrier), the assembled LETs, and the
+/// communication tally they cost.
+struct RankSetup {
+    tree: SourceTree,
+    batches: TargetBatches,
+    lets: Vec<RemoteLet>,
+    let_stats: LetStats,
+    tally: CommTally,
+    // Held, not read: dropping a window before the final barrier would
+    // tear down regions remote ranks may still be fetching from.
+    _meta_win: Window<NodeMeta>,
+    _part_win: Window<f64>,
+    _qhat_win: Window<f64>,
+}
+
+/// Steps 2–3 of the pipeline (shared by the potential and field paths):
+/// build local tree/batches/charges, expose the skeleton / particle /
+/// modified-charge windows, and construct this rank's LET view of every
+/// remote tree over passive-target RMA.
+fn setup_rank(comm: &Comm, local: &ParticleSet, params: &BltcParams) -> RankSetup {
+    let m3 = params.proxy_count();
+
+    // ---- local structures (host) ------------------------------------
+    let tree = SourceTree::build(local, params);
+    let batches = TargetBatches::build(local, params);
+    let charges = ClusterCharges::compute_all(&tree, params.degree);
+
+    // ---- expose RMA windows (collective, like MPI_Win_create) -------
+    let meta: Vec<NodeMeta> = tree.nodes().iter().map(NodeMeta::from_node).collect();
+    let meta_win = comm.create_window(meta);
+
+    let tp = tree.particles();
+    let mut pdata = Vec::with_capacity(tp.len() * 4);
+    for j in 0..tp.len() {
+        pdata.extend_from_slice(&[tp.x[j], tp.y[j], tp.z[j], tp.q[j]]);
+    }
+    let part_win = comm.create_window(pdata);
+
+    let mut qdata = vec![0.0; tree.num_nodes() * m3];
+    for i in 0..tree.num_nodes() {
+        qdata[i * m3..(i + 1) * m3].copy_from_slice(charges.charges(i));
+    }
+    let qhat_win = comm.create_window(qdata);
+    comm.barrier(); // all windows exposed; passive epochs may begin
+
+    // ---- LET construction (fully one-sided) -------------------------
+    let mut tally = CommTally::default();
+    let mut lets = Vec::with_capacity(comm.size().saturating_sub(1));
+    for t in 0..comm.size() {
+        if t != comm.rank() {
+            lets.push(build_remote_let(
+                t, &batches, params, &meta_win, &part_win, &qhat_win, m3, &mut tally,
+            ));
+        }
+    }
+    let mut let_stats = LetStats::default();
+    for l in &lets {
+        let_stats.remote_skeleton_nodes += l.nodes.len() as u64;
+        let_stats.remote_approx_nodes += l.qhat.len() as u64;
+        let_stats.remote_direct_nodes += l.parts.len() as u64;
+        let_stats.fetched_particles += l.fetched_particles();
+        let_stats.fetched_proxy_charges += (l.qhat.len() * m3) as u64;
+    }
+
+    RankSetup {
+        tree,
+        batches,
+        lets,
+        let_stats,
+        tally,
+        _meta_win: meta_win,
+        _part_win: part_win,
+        _qhat_win: qhat_win,
+    }
+}
+
+/// Per-rank modeled phase clocks (shared by the potential and field
+/// paths; the caller supplies the remote-evaluation flops, which is
+/// where the ~4× gradient-kernel cost enters).
+struct RankClocks {
+    setup_host_s: f64,
+    setup_comm_s: f64,
+    setup_stage_s: f64,
+    precompute_s: f64,
+    compute_s: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn model_rank_clocks(
+    cfg: &DistConfig,
+    sim: &GpuSimBreakdown,
+    local_len: usize,
+    levels: usize,
+    ops: &OpCounts,
+    let_stats: &LetStats,
+    tally: &CommTally,
+    remote_flops: f64,
+    remote_device_bytes: f64,
+    remote_launches: u64,
+) -> RankClocks {
+    let setup_host_s = cfg.host.setup_seconds(
+        local_len,
+        levels,
+        ops.kernel_launches,
+        let_stats.fetched_particles,
+    );
+    let setup_comm_s = cfg.net.seconds_for(tally.messages, tally.bytes);
+    let stage_let_s = if tally.device_bytes > 0 {
+        cfg.spec.transfer_seconds(tally.device_bytes as f64)
+    } else {
+        0.0
+    };
+    let setup_stage_s = sim.htod_sources_s + sim.htod_let_s + stage_let_s;
+    let precompute_s = sim.precompute_s + sim.dtoh_charges_s;
+    let remote_exec_s = cfg.spec.exec_seconds(remote_flops, remote_device_bytes)
+        + remote_launches as f64 * (cfg.spec.host_enqueue_s + cfg.spec.launch_latency_s);
+    let compute_s = sim.compute_s + sim.dtoh_potentials_s + remote_exec_s;
+    RankClocks {
+        setup_host_s,
+        setup_comm_s,
+        setup_stage_s,
+        precompute_s,
+        compute_s,
+    }
+}
+
+/// Validate inputs and compute the RCB decomposition shared by both
+/// entry points.
+fn decompose(ps: &ParticleSet, ranks: usize, cfg: &DistConfig) -> (RcbPartition, Vec<ParticleSet>) {
+    assert!(ranks >= 1, "need at least one rank");
+    assert!(!ps.is_empty(), "cannot distribute an empty particle set");
+    assert!(
+        ranks <= ps.len(),
+        "more ranks ({ranks}) than particles ({})",
+        ps.len()
+    );
+    cfg.params.validate();
+    let part = rcb_partition(ps, ranks, None);
+    let locals = partition_particles(ps, &part);
+    (part, locals)
+}
+
 /// Run the full distributed pipeline on `ranks` simulated ranks.
 ///
 /// Ranks execute as real OS threads under `mpi_sim::run_spmd`; all
@@ -206,17 +428,7 @@ pub fn run_distributed<K: Kernel + ?Sized>(
     cfg: &DistConfig,
     kernel: &K,
 ) -> DistReport {
-    assert!(ranks >= 1, "need at least one rank");
-    assert!(!ps.is_empty(), "cannot distribute an empty particle set");
-    assert!(
-        ranks <= ps.len(),
-        "more ranks ({ranks}) than particles ({})",
-        ps.len()
-    );
-    cfg.params.validate();
-
-    let part = rcb_partition(ps, ranks, None);
-    let locals = partition_particles(ps, &part);
+    let (part, locals) = decompose(ps, ranks, cfg);
     let kref = KernelRef(kernel);
     let params = cfg.params;
 
@@ -224,49 +436,9 @@ pub fn run_distributed<K: Kernel + ?Sized>(
         let rank = comm.rank();
         let local = &locals[rank];
         let kernel: &dyn Kernel = &kref;
-        let m3 = params.proxy_count();
 
-        // ---- local structures (host) --------------------------------
-        let tree = SourceTree::build(local, &params);
-        let batches = TargetBatches::build(local, &params);
-        let charges = ClusterCharges::compute_all(&tree, params.degree);
-
-        // ---- expose RMA windows (collective, like MPI_Win_create) ---
-        let meta: Vec<NodeMeta> = tree.nodes().iter().map(NodeMeta::from_node).collect();
-        let meta_win = comm.create_window(meta);
-
-        let tp = tree.particles();
-        let mut pdata = Vec::with_capacity(tp.len() * 4);
-        for j in 0..tp.len() {
-            pdata.extend_from_slice(&[tp.x[j], tp.y[j], tp.z[j], tp.q[j]]);
-        }
-        let part_win = comm.create_window(pdata);
-
-        let mut qdata = vec![0.0; tree.num_nodes() * m3];
-        for i in 0..tree.num_nodes() {
-            qdata[i * m3..(i + 1) * m3].copy_from_slice(charges.charges(i));
-        }
-        let qhat_win = comm.create_window(qdata);
-        comm.barrier(); // all windows exposed; passive epochs may begin
-
-        // ---- LET construction (fully one-sided) ---------------------
-        let mut tally = CommTally::default();
-        let mut lets = Vec::with_capacity(comm.size().saturating_sub(1));
-        for t in 0..comm.size() {
-            if t != rank {
-                lets.push(build_remote_let(
-                    t, &batches, &params, &meta_win, &part_win, &qhat_win, m3, &mut tally,
-                ));
-            }
-        }
-        let mut let_stats = LetStats::default();
-        for l in &lets {
-            let_stats.remote_skeleton_nodes += l.nodes.len() as u64;
-            let_stats.remote_approx_nodes += l.qhat.len() as u64;
-            let_stats.remote_direct_nodes += l.parts.len() as u64;
-            let_stats.fetched_particles += l.fetched_particles();
-            let_stats.fetched_proxy_charges += (l.qhat.len() * m3) as u64;
-        }
+        // ---- setup: local structures, windows, LETs -----------------
+        let setup = setup_rank(&comm, local, &params);
 
         // ---- local evaluation on the simulated GPU ------------------
         let gpu = GpuEngine::with_spec(params, cfg.spec)
@@ -277,12 +449,12 @@ pub fn run_distributed<K: Kernel + ?Sized>(
         let mut potentials = gpu.result.potentials;
         let mut remote_ops = OpCounts::default();
         let mut device_bytes = 0.0;
-        if !lets.is_empty() {
+        if !setup.lets.is_empty() {
             let mut remote_pot = vec![0.0; local.len()]; // batch order
-            for l in &lets {
+            for l in &setup.lets {
                 eval_remote_into(
                     l,
-                    &batches,
+                    &setup.batches,
                     kernel,
                     &mut remote_pot,
                     &mut remote_ops,
@@ -291,7 +463,7 @@ pub fn run_distributed<K: Kernel + ?Sized>(
             }
             for (p, r) in potentials
                 .iter_mut()
-                .zip(batches.scatter_to_original(&remote_pot))
+                .zip(setup.batches.scatter_to_original(&remote_pot))
             {
                 *p += r;
             }
@@ -299,43 +471,23 @@ pub fn run_distributed<K: Kernel + ?Sized>(
         let ops = gpu.result.ops.merged(&remote_ops);
 
         // ---- modeled clocks -----------------------------------------
-        let setup_host_s = cfg.host.setup_seconds(
+        let clocks = model_rank_clocks(
+            cfg,
+            &gpu.sim,
             local.len(),
             gpu.result.tree_stats.max_level + 1,
-            ops.kernel_launches,
-            let_stats.fetched_particles,
+            &ops,
+            &setup.let_stats,
+            &setup.tally,
+            remote_ops.compute_flops(kernel, true),
+            device_bytes,
+            remote_ops.kernel_launches,
         );
-        let setup_comm_s = cfg.net.seconds_for(tally.messages, tally.bytes);
-        let stage_let_s = if tally.device_bytes > 0 {
-            cfg.spec.transfer_seconds(tally.device_bytes as f64)
-        } else {
-            0.0
-        };
-        let setup_stage_s = gpu.sim.htod_sources_s + gpu.sim.htod_let_s + stage_let_s;
-        let precompute_s = gpu.sim.precompute_s + gpu.sim.dtoh_charges_s;
-        let remote_exec_s = cfg
-            .spec
-            .exec_seconds(remote_ops.compute_flops(kernel, true), device_bytes)
-            + remote_ops.kernel_launches as f64
-                * (cfg.spec.host_enqueue_s + cfg.spec.launch_latency_s);
-        let compute_s = gpu.sim.compute_s + gpu.sim.dtoh_potentials_s + remote_exec_s;
 
         comm.barrier(); // epochs closed on every rank
 
         (
-            RankReport {
-                rank,
-                n_local: local.len(),
-                tree_nodes: tree.num_nodes(),
-                num_batches: batches.len(),
-                let_stats,
-                setup_host_s,
-                setup_comm_s,
-                setup_stage_s,
-                precompute_s,
-                compute_s,
-                ops,
-            },
+            make_rank_report(rank, local.len(), &setup, clocks, ops),
             potentials,
         )
     });
@@ -356,6 +508,155 @@ pub fn run_distributed<K: Kernel + ?Sized>(
         compute_s: fmax(&|r| r.compute_s),
         total_s: fmax(&|r| r.total()),
         potentials,
+        ranks: reports,
+        traffic: out.traffic,
+    }
+}
+
+/// Assemble a [`RankReport`] from the pieces every pipeline produces.
+fn make_rank_report(
+    rank: usize,
+    n_local: usize,
+    setup: &RankSetup,
+    clocks: RankClocks,
+    ops: OpCounts,
+) -> RankReport {
+    RankReport {
+        rank,
+        n_local,
+        tree_nodes: setup.tree.num_nodes(),
+        num_batches: setup.batches.len(),
+        let_stats: setup.let_stats,
+        let_messages: setup.tally.messages,
+        let_bytes: setup.tally.bytes,
+        setup_host_s: clocks.setup_host_s,
+        setup_comm_s: clocks.setup_comm_s,
+        setup_stage_s: clocks.setup_stage_s,
+        precompute_s: clocks.precompute_s,
+        compute_s: clocks.compute_s,
+        ops,
+    }
+}
+
+/// Run the full distributed **field** pipeline on `ranks` simulated
+/// ranks: same decomposition, windows, and LET construction as
+/// [`run_distributed`], but every evaluation — the local simulated-GPU
+/// pass and the remote LET contributions — produces potentials *and*
+/// 3-component gradients through [`GradientKernel`].
+///
+/// The LET is reused unchanged (modified charges differentiate for free
+/// with respect to the target), so the field run records exactly the
+/// same one-sided traffic as a potential run; only the device clock
+/// (~4× compute flops, 4× DtH volume) differs. With `ranks == 1` the
+/// result is bitwise identical to
+/// [`GpuEngine::compute_field_detailed`] on the whole problem.
+pub fn run_distributed_field<K: GradientKernel + ?Sized>(
+    ps: &ParticleSet,
+    ranks: usize,
+    cfg: &DistConfig,
+    kernel: &K,
+) -> DistFieldReport {
+    let (part, locals) = decompose(ps, ranks, cfg);
+    let kref = KernelRef(kernel);
+    let params = cfg.params;
+
+    let out = run_spmd(ranks, |comm| {
+        let rank = comm.rank();
+        let local = &locals[rank];
+        let kernel: &dyn GradientKernel = &kref;
+
+        // ---- setup: local structures, windows, LETs -----------------
+        let setup = setup_rank(&comm, local, &params);
+
+        // ---- local evaluation on the simulated GPU ------------------
+        let gpu = GpuEngine::with_spec(params, cfg.spec)
+            .with_streams(cfg.streams)
+            .compute_field_detailed(local, local, kernel);
+
+        // ---- remote (LET) contributions -----------------------------
+        let mut field = gpu.field;
+        let mut remote_ops = OpCounts::default();
+        let mut device_bytes = 0.0;
+        if !setup.lets.is_empty() {
+            // Batch-order accumulators for the four outputs.
+            let n = local.len();
+            let (mut rp, mut rx, mut ry, mut rz) =
+                (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+            for l in &setup.lets {
+                eval_remote_field_into(
+                    l,
+                    &setup.batches,
+                    kernel,
+                    &mut rp,
+                    &mut rx,
+                    &mut ry,
+                    &mut rz,
+                    &mut remote_ops,
+                    &mut device_bytes,
+                );
+            }
+            let add = |dst: &mut [f64], src: Vec<f64>| {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            };
+            add(
+                &mut field.potentials,
+                setup.batches.scatter_to_original(&rp),
+            );
+            add(&mut field.gx, setup.batches.scatter_to_original(&rx));
+            add(&mut field.gy, setup.batches.scatter_to_original(&ry));
+            add(&mut field.gz, setup.batches.scatter_to_original(&rz));
+        }
+        let ops = gpu.ops.merged(&remote_ops);
+
+        // ---- modeled clocks (gradient flops on the remote pass) -----
+        let clocks = model_rank_clocks(
+            cfg,
+            &gpu.sim,
+            local.len(),
+            gpu.tree_stats.max_level + 1,
+            &ops,
+            &setup.let_stats,
+            &setup.tally,
+            remote_ops.field_flops(kernel, true),
+            device_bytes,
+            remote_ops.kernel_launches,
+        );
+
+        comm.barrier(); // epochs closed on every rank
+
+        (
+            make_rank_report(rank, local.len(), &setup, clocks, ops),
+            field,
+        )
+    });
+
+    // ---- assemble the global report ---------------------------------
+    let n = ps.len();
+    let mut field = FieldResult {
+        potentials: vec![0.0; n],
+        gx: vec![0.0; n],
+        gy: vec![0.0; n],
+        gz: vec![0.0; n],
+    };
+    let mut reports = Vec::with_capacity(ranks);
+    for (rank, (report, local_field)) in out.results.into_iter().enumerate() {
+        for (i, &orig) in part.part_indices[rank].iter().enumerate() {
+            field.potentials[orig] = local_field.potentials[i];
+            field.gx[orig] = local_field.gx[i];
+            field.gy[orig] = local_field.gy[i];
+            field.gz[orig] = local_field.gz[i];
+        }
+        reports.push(report);
+    }
+    let fmax = |f: &dyn Fn(&RankReport) -> f64| reports.iter().map(f).fold(0.0, f64::max);
+    DistFieldReport {
+        setup_s: fmax(&|r| r.setup_total()),
+        precompute_s: fmax(&|r| r.precompute_s),
+        compute_s: fmax(&|r| r.compute_s),
+        total_s: fmax(&|r| r.total()),
+        field,
         ranks: reports,
         traffic: out.traffic,
     }
@@ -427,5 +728,63 @@ mod tests {
     fn too_many_ranks_rejected() {
         let ps = ParticleSet::random_cube(3, 5);
         let _ = run_distributed(&ps, 8, &cfg(), &Coulomb);
+    }
+
+    #[test]
+    fn single_rank_field_matches_gpu_engine_bitwise() {
+        let ps = ParticleSet::random_cube(900, 6);
+        let c = cfg();
+        let dist = run_distributed_field(&ps, 1, &c, &Coulomb);
+        let gpu = GpuEngine::with_spec(c.params, c.spec).compute_field_detailed(&ps, &ps, &Coulomb);
+        assert_eq!(dist.field.potentials, gpu.field.potentials);
+        assert_eq!(dist.field.gx, gpu.field.gx);
+        assert_eq!(dist.field.gy, gpu.field.gy);
+        assert_eq!(dist.field.gz, gpu.field.gz);
+        assert_eq!(dist.traffic.total_remote_bytes(), 0);
+    }
+
+    #[test]
+    fn field_potentials_match_potential_only_run_bitwise() {
+        // Same lists, same LET, same scalar potential expressions — the
+        // field path's potential output is the potential path's output.
+        let ps = ParticleSet::random_cube(1100, 7);
+        let pot = run_distributed(&ps, 3, &cfg(), &Coulomb);
+        let fld = run_distributed_field(&ps, 3, &cfg(), &Coulomb);
+        assert_eq!(pot.potentials, fld.field.potentials);
+    }
+
+    #[test]
+    fn field_run_matches_direct_sum_field() {
+        use bltc_core::field::direct_sum_field;
+        let ps = ParticleSet::random_cube(1200, 8);
+        let c = DistConfig::comet(BltcParams::new(0.7, 6, 60, 60));
+        let rep = run_distributed_field(&ps, 2, &c, &Coulomb);
+        let exact = direct_sum_field(&ps, &ps, &Coulomb);
+        assert!(relative_l2_error(&exact.potentials, &rep.field.potentials) < 1e-4);
+        assert!(relative_l2_error(&exact.gx, &rep.field.gx) < 1e-3, "gx");
+        assert!(relative_l2_error(&exact.gy, &rep.field.gy) < 1e-3, "gy");
+        assert!(relative_l2_error(&exact.gz, &rep.field.gz) < 1e-3, "gz");
+    }
+
+    #[test]
+    fn gradient_kernels_inflate_the_compute_clock() {
+        let ps = ParticleSet::random_cube(1500, 9);
+        let pot = run_distributed(&ps, 2, &cfg(), &Coulomb);
+        let fld = run_distributed_field(&ps, 2, &cfg(), &Coulomb);
+        for (p, f) in pot.ranks.iter().zip(&fld.ranks) {
+            assert!(
+                f.compute_s > p.compute_s,
+                "rank {}: field compute {} !> potential compute {}",
+                p.rank,
+                f.compute_s,
+                p.compute_s
+            );
+            // Same interactions, same LET, same traffic.
+            assert_eq!(p.ops, f.ops);
+            assert_eq!(p.let_bytes, f.let_bytes);
+            assert_eq!(p.let_messages, f.let_messages);
+            assert_eq!(p.setup_comm_s, f.setup_comm_s);
+        }
+        assert!(fld.compute_s > pot.compute_s);
     }
 }

@@ -20,16 +20,18 @@ use std::time::Instant;
 use bltc_core::config::BltcParams;
 use bltc_core::cost::OpCounts;
 use bltc_core::engine::{ComputeResult, PhaseTimings, TreecodeEngine};
+use bltc_core::field::FieldResult;
 use bltc_core::interp::tensor::TensorGrid;
-use bltc_core::kernel::Kernel;
+use bltc_core::kernel::{GradientKernel, Kernel};
 use bltc_core::particles::ParticleSet;
 use bltc_core::traversal::InteractionLists;
-use bltc_core::tree::{batch::TargetBatches, SourceTree};
+use bltc_core::tree::{batch::TargetBatches, SourceTree, TreeStats};
 use gpu_sim::{Device, DeviceSpec, LaunchConfig, WorkEstimate};
 
 use crate::kernels::{
-    launch_approx_kernel, launch_direct_kernel, launch_precompute_phase1, launch_precompute_phase2,
-    DeviceArrays, THREADS_PER_BLOCK,
+    launch_approx_field_kernel, launch_approx_kernel, launch_direct_field_kernel,
+    launch_direct_kernel, launch_precompute_phase1, launch_precompute_phase2, DeviceArrays,
+    FieldBuffers, THREADS_PER_BLOCK,
 };
 
 /// Simulated-clock breakdown of one GPU run (seconds).
@@ -87,6 +89,42 @@ pub struct GpuRunReport {
     pub kernel_launches: u64,
 }
 
+/// Full report of a GPU **field** (potential + gradient) run.
+pub struct GpuFieldRunReport {
+    /// Potentials and gradients in original target order — bitwise
+    /// identical to [`bltc_core::engine::PreparedTreecode::evaluate_field`].
+    pub field: FieldResult,
+    /// Exact op counts (interaction pairs are identical to the
+    /// potential-only run; the *flops per pair* differ, see
+    /// [`OpCounts::field_flops`]).
+    pub ops: OpCounts,
+    /// Modeled three-phase split.
+    pub timings: PhaseTimings,
+    /// Source-tree shape statistics.
+    pub tree_stats: TreeStats,
+    /// Fine-grained simulated breakdown. `compute_s` reflects the ~4×
+    /// gradient-kernel flop cost.
+    pub sim: GpuSimBreakdown,
+    /// Per-kernel-class profile table.
+    pub profile_table: String,
+    /// Total kernel launches issued.
+    pub kernel_launches: u64,
+}
+
+/// Shared prologue of every GPU pipeline run: host setup, HtD staging,
+/// the two precompute kernels, DtH of the modified charges, and the
+/// target (LET) copy. The compute phase — potential-only or field —
+/// continues from `mark`.
+struct StagedPipeline {
+    tree: SourceTree,
+    batches: TargetBatches,
+    lists: InteractionLists,
+    dev: Device,
+    arrays: DeviceArrays,
+    sim: GpuSimBreakdown,
+    mark: f64,
+}
+
 /// The GPU treecode engine.
 #[derive(Debug, Clone, Copy)]
 pub struct GpuEngine {
@@ -127,13 +165,9 @@ impl GpuEngine {
         self
     }
 
-    /// Run the full pipeline, returning the detailed report.
-    pub fn compute_detailed(
-        &self,
-        targets: &ParticleSet,
-        sources: &ParticleSet,
-        kernel: &dyn Kernel,
-    ) -> GpuRunReport {
+    /// Run every phase up to (and including) the target/LET staging;
+    /// kernel-independent, shared by the potential-only and field paths.
+    fn stage(&self, targets: &ParticleSet, sources: &ParticleSet) -> StagedPipeline {
         self.params.validate();
         let mut sim = GpuSimBreakdown::default();
 
@@ -241,6 +275,34 @@ impl GpuEngine {
         sim.htod_let_s = dev.now() - mark;
         mark = dev.now();
 
+        StagedPipeline {
+            tree,
+            batches,
+            lists,
+            dev,
+            arrays,
+            sim,
+            mark,
+        }
+    }
+
+    /// Run the full pipeline, returning the detailed report.
+    pub fn compute_detailed(
+        &self,
+        targets: &ParticleSet,
+        sources: &ParticleSet,
+        kernel: &dyn Kernel,
+    ) -> GpuRunReport {
+        let StagedPipeline {
+            tree,
+            batches,
+            lists,
+            mut dev,
+            arrays,
+            mut sim,
+            mut mark,
+        } = self.stage(targets, sources);
+
         // ---- compute: walk interaction lists, cycling streams -------------
         let mut launch_counter = 0usize;
         for (b, bl) in batches.batches().iter().zip(&lists.per_batch) {
@@ -275,7 +337,7 @@ impl GpuEngine {
         mark = dev.now();
 
         // ---- DtH: potentials ----------------------------------------------
-        let pot_host = dev.dtoh_f64(pot);
+        let pot_host = dev.dtoh_f64(arrays.pot);
         sim.dtoh_potentials_s = dev.now() - mark;
 
         let potentials = batches.scatter_to_original(&pot_host);
@@ -287,6 +349,93 @@ impl GpuEngine {
                 timings: sim.as_three_phases(),
                 tree_stats: tree.stats(),
             },
+            sim,
+            profile_table: dev.profiler().table(),
+            kernel_launches: dev.profiler().total_launches(),
+        }
+    }
+
+    /// Run the full **field** pipeline: identical setup/precompute, then
+    /// the gradient-capable batch–cluster kernels (four outputs per
+    /// target, ~4× the flops — visible in `sim.compute_s`), then DtH of
+    /// potentials *and* the three gradient components.
+    pub fn compute_field_detailed(
+        &self,
+        targets: &ParticleSet,
+        sources: &ParticleSet,
+        kernel: &dyn GradientKernel,
+    ) -> GpuFieldRunReport {
+        let StagedPipeline {
+            tree,
+            batches,
+            lists,
+            mut dev,
+            arrays,
+            mut sim,
+            mut mark,
+        } = self.stage(targets, sources);
+
+        let n = batches.particles().len();
+        let grads = FieldBuffers {
+            gx: dev.alloc_f64(vec![0.0; n]),
+            gy: dev.alloc_f64(vec![0.0; n]),
+            gz: dev.alloc_f64(vec![0.0; n]),
+        };
+
+        // ---- compute: gradient kernels over the same lists ----------------
+        let mut launch_counter = 0usize;
+        for (b, bl) in batches.batches().iter().zip(&lists.per_batch) {
+            for &ci in &bl.approx {
+                let stream = launch_counter % self.streams;
+                launch_counter += 1;
+                launch_approx_field_kernel(
+                    &mut dev,
+                    &arrays,
+                    &grads,
+                    (b.start, b.end),
+                    ci as usize,
+                    kernel,
+                    stream,
+                );
+            }
+            for &ci in &bl.direct {
+                let stream = launch_counter % self.streams;
+                launch_counter += 1;
+                let node = tree.node(ci as usize);
+                launch_direct_field_kernel(
+                    &mut dev,
+                    &arrays,
+                    &grads,
+                    (b.start, b.end),
+                    (node.start, node.end),
+                    kernel,
+                    stream,
+                );
+            }
+        }
+        dev.synchronize();
+        sim.compute_s = dev.now() - mark;
+        mark = dev.now();
+
+        // ---- DtH: potentials + gradients ----------------------------------
+        let pot_host = dev.dtoh_f64(arrays.pot);
+        let gx_host = dev.dtoh_f64(grads.gx);
+        let gy_host = dev.dtoh_f64(grads.gy);
+        let gz_host = dev.dtoh_f64(grads.gz);
+        sim.dtoh_potentials_s = dev.now() - mark;
+
+        let field = FieldResult {
+            potentials: batches.scatter_to_original(&pot_host),
+            gx: batches.scatter_to_original(&gx_host),
+            gy: batches.scatter_to_original(&gy_host),
+            gz: batches.scatter_to_original(&gz_host),
+        };
+        let ops = OpCounts::from_lists(&lists, &batches, &tree, &self.params);
+        GpuFieldRunReport {
+            field,
+            ops,
+            timings: sim.as_three_phases(),
+            tree_stats: tree.stats(),
             sim,
             profile_table: dev.profiler().table(),
             kernel_launches: dev.profiler().total_launches(),
@@ -444,6 +593,73 @@ mod tests {
         assert!(report.kernel_launches > 0);
         assert!(report.profile_table.contains("batch_cluster_direct"));
         assert!(report.profile_table.contains("precompute_phase1"));
+    }
+
+    #[test]
+    fn gpu_field_matches_cpu_field_bitwise() {
+        use bltc_core::engine::PreparedTreecode;
+        let ps = cube(2000, 90);
+        let params = BltcParams::new(0.7, 5, 80, 80);
+        let prep = PreparedTreecode::new(&ps, &ps, params);
+        let cpu = prep.evaluate_field(&Yukawa::default());
+        let gpu = GpuEngine::new(params).compute_field_detailed(&ps, &ps, &Yukawa::default());
+        assert_eq!(cpu.potentials, gpu.field.potentials);
+        assert_eq!(cpu.gx, gpu.field.gx);
+        assert_eq!(cpu.gy, gpu.field.gy);
+        assert_eq!(cpu.gz, gpu.field.gz);
+        assert!(gpu.profile_table.contains("batch_cluster_direct_field"));
+    }
+
+    #[test]
+    fn field_potentials_match_potential_only_run() {
+        let ps = cube(1500, 91);
+        let params = BltcParams::new(0.8, 4, 60, 60);
+        let pot = GpuEngine::new(params).compute_detailed(&ps, &ps, &Coulomb);
+        let fld = GpuEngine::new(params).compute_field_detailed(&ps, &ps, &Coulomb);
+        // Same lists, same order, same scalar potential expressions.
+        assert_eq!(pot.result.potentials, fld.field.potentials);
+        assert_eq!(pot.result.ops, fld.ops);
+    }
+
+    #[test]
+    fn gradient_kernels_cost_about_4x_on_the_device_clock() {
+        // §cost model: a field launch charges grad_flops (~4× potential
+        // flops). On a compute-bound configuration the modeled compute
+        // phase must inflate accordingly (launch overhead dilutes it a
+        // little, so accept a broad band around 4×).
+        // Single batch vs single (root) cluster: one large launch, so
+        // per-launch overhead is negligible next to the kernel flops.
+        let ps = cube(4000, 92);
+        let params = BltcParams::new(0.7, 6, 4000, 4000);
+        let pot = GpuEngine::new(params)
+            .with_streams(1)
+            .compute_detailed(&ps, &ps, &Coulomb);
+        let fld = GpuEngine::new(params)
+            .with_streams(1)
+            .compute_field_detailed(&ps, &ps, &Coulomb);
+        let ratio = fld.sim.compute_s / pot.sim.compute_s;
+        assert!(
+            ratio > 2.0 && ratio < 4.5,
+            "field/potential compute ratio {ratio} not ~4x"
+        );
+        // DtH returns four arrays instead of one.
+        assert!(fld.sim.dtoh_potentials_s > pot.sim.dtoh_potentials_s * 2.0);
+    }
+
+    #[test]
+    fn field_stream_count_never_changes_results() {
+        let ps = cube(2000, 93);
+        let params = BltcParams::new(0.8, 4, 100, 100);
+        let one = GpuEngine::new(params)
+            .with_streams(1)
+            .compute_field_detailed(&ps, &ps, &Coulomb);
+        let four = GpuEngine::new(params)
+            .with_streams(4)
+            .compute_field_detailed(&ps, &ps, &Coulomb);
+        assert_eq!(one.field.gx, four.field.gx);
+        assert_eq!(one.field.gy, four.field.gy);
+        assert_eq!(one.field.gz, four.field.gz);
+        assert!(four.sim.compute_s <= one.sim.compute_s);
     }
 
     #[test]

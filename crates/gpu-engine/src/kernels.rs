@@ -11,7 +11,7 @@
 use bltc_core::charges::{phase1_intermediates, phase2_accumulate};
 use bltc_core::cost::{PHASE1_FLOPS_PER_TERM, PHASE2_FLOPS_PER_TERM};
 use bltc_core::interp::tensor::TensorGrid;
-use bltc_core::kernel::Kernel;
+use bltc_core::kernel::{GradientKernel, Kernel};
 use gpu_sim::{BufF64, Device, LaunchConfig, WorkEstimate};
 
 /// Threads per block used by all four kernels (the inner parallel width).
@@ -48,6 +48,144 @@ pub struct DeviceArrays {
     pub qtilde: BufF64,
     /// Proxy points per node, `(n+1)³`.
     pub proxy_per_node: usize,
+}
+
+/// Device-resident gradient accumulators for the **field** kernels
+/// (batch order, one slot per target; `E = -q·(gx, gy, gz)`).
+#[derive(Debug, Clone, Copy)]
+pub struct FieldBuffers {
+    /// `∂φ/∂x` accumulator.
+    pub gx: BufF64,
+    /// `∂φ/∂y` accumulator.
+    pub gy: BufF64,
+    /// `∂φ/∂z` accumulator.
+    pub gz: BufF64,
+}
+
+/// Batch–cluster **direct field** kernel: Eq. 9 differentiated with
+/// respect to the target — four outputs (potential + gradient) per
+/// target, same launch geometry as the potential-only kernel, ~4× the
+/// flops (see [`GradientKernel::grad_flops_per_eval_gpu`]).
+#[allow(clippy::too_many_arguments)]
+pub fn launch_direct_field_kernel(
+    dev: &mut Device,
+    arrays: &DeviceArrays,
+    grads: &FieldBuffers,
+    batch_range: (usize, usize),
+    cluster_range: (usize, usize),
+    kernel: &dyn GradientKernel,
+    stream: usize,
+) {
+    let (t0, t1) = batch_range;
+    let (s0, s1) = cluster_range;
+    let nb = t1 - t0;
+    let nc = s1 - s0;
+    debug_assert!(nb > 0 && nc > 0);
+    let work = WorkEstimate::new(
+        nb as f64 * nc as f64 * kernel.grad_flops_per_eval_gpu(),
+        ((nb * 7 + nc * 4) * 8) as f64,
+    );
+    let cfg = LaunchConfig::new("batch_cluster_direct_field", nb, THREADS_PER_BLOCK).stream(stream);
+    let a = *arrays;
+    let g = *grads;
+    dev.launch(cfg, work, move |mem| {
+        let xs = mem.f64(a.sx)[s0..s1].to_vec();
+        let ys = mem.f64(a.sy)[s0..s1].to_vec();
+        let zs = mem.f64(a.sz)[s0..s1].to_vec();
+        let qs = mem.f64(a.sq)[s0..s1].to_vec();
+        let txv = mem.f64(a.tx)[t0..t1].to_vec();
+        let tyv = mem.f64(a.ty)[t0..t1].to_vec();
+        let tzv = mem.f64(a.tz)[t0..t1].to_vec();
+        // Per-target block accumulators, flushed with one atomic update
+        // per output array (the same order the CPU field path uses, so
+        // results stay bitwise identical).
+        let mut acc = vec![(0.0, 0.0, 0.0, 0.0); nb];
+        for (i, slot) in acc.iter_mut().enumerate() {
+            for j in 0..nc {
+                let (gv, dgx, dgy, dgz) =
+                    kernel.eval_with_grad(txv[i] - xs[j], tyv[i] - ys[j], tzv[i] - zs[j]);
+                slot.0 += gv * qs[j];
+                slot.1 += dgx * qs[j];
+                slot.2 += dgy * qs[j];
+                slot.3 += dgz * qs[j];
+            }
+        }
+        flush_field_acc(mem, &a, &g, t0, &acc);
+    });
+}
+
+/// Batch–cluster **approximation field** kernel: Eq. 11 differentiated
+/// with respect to the target — the cluster's Chebyshev proxies and
+/// modified charges in place of the sources.
+pub fn launch_approx_field_kernel(
+    dev: &mut Device,
+    arrays: &DeviceArrays,
+    grads: &FieldBuffers,
+    batch_range: (usize, usize),
+    node_idx: usize,
+    kernel: &dyn GradientKernel,
+    stream: usize,
+) {
+    let (t0, t1) = batch_range;
+    let nb = t1 - t0;
+    let m3 = arrays.proxy_per_node;
+    debug_assert!(nb > 0 && m3 > 0);
+    let work = WorkEstimate::new(
+        nb as f64 * m3 as f64 * kernel.grad_flops_per_eval_gpu(),
+        ((nb * 7 + m3 * 4) * 8) as f64,
+    );
+    let cfg = LaunchConfig::new("batch_cluster_approx_field", nb, THREADS_PER_BLOCK).stream(stream);
+    let a = *arrays;
+    let g = *grads;
+    let base = node_idx * m3;
+    dev.launch(cfg, work, move |mem| {
+        let px = mem.f64(a.proxy_x)[base..base + m3].to_vec();
+        let py = mem.f64(a.proxy_y)[base..base + m3].to_vec();
+        let pz = mem.f64(a.proxy_z)[base..base + m3].to_vec();
+        let qh = mem.f64(a.qhat)[base..base + m3].to_vec();
+        let txv = mem.f64(a.tx)[t0..t1].to_vec();
+        let tyv = mem.f64(a.ty)[t0..t1].to_vec();
+        let tzv = mem.f64(a.tz)[t0..t1].to_vec();
+        let mut acc = vec![(0.0, 0.0, 0.0, 0.0); nb];
+        for (i, slot) in acc.iter_mut().enumerate() {
+            for k in 0..m3 {
+                let (gv, dgx, dgy, dgz) =
+                    kernel.eval_with_grad(txv[i] - px[k], tyv[i] - py[k], tzv[i] - pz[k]);
+                slot.0 += gv * qh[k];
+                slot.1 += dgx * qh[k];
+                slot.2 += dgy * qh[k];
+                slot.3 += dgz * qh[k];
+            }
+        }
+        flush_field_acc(mem, &a, &g, t0, &acc);
+    });
+}
+
+/// Flush per-target `(φ, ∂x, ∂y, ∂z)` block accumulators into the four
+/// device output arrays (one atomic update per array per target).
+fn flush_field_acc(
+    mem: &mut gpu_sim::DeviceMemory,
+    arrays: &DeviceArrays,
+    grads: &FieldBuffers,
+    t0: usize,
+    acc: &[(f64, f64, f64, f64)],
+) {
+    let pot = mem.f64_mut(arrays.pot);
+    for (i, a) in acc.iter().enumerate() {
+        pot[t0 + i] += a.0;
+    }
+    let gx = mem.f64_mut(grads.gx);
+    for (i, a) in acc.iter().enumerate() {
+        gx[t0 + i] += a.1;
+    }
+    let gy = mem.f64_mut(grads.gy);
+    for (i, a) in acc.iter().enumerate() {
+        gy[t0 + i] += a.2;
+    }
+    let gz = mem.f64_mut(grads.gz);
+    for (i, a) in acc.iter().enumerate() {
+        gz[t0 + i] += a.3;
+    }
 }
 
 /// Preprocessing kernel 1 (Eq. 14): intermediates `q̃_j` for one cluster.

@@ -29,6 +29,6 @@ pub mod engine;
 pub mod kernels;
 
 pub use engine::{
-    gpu_direct_sum, gpu_direct_sum_modeled_seconds, GpuDirectSumResult, GpuEngine, GpuRunReport,
-    GpuSimBreakdown,
+    gpu_direct_sum, gpu_direct_sum_modeled_seconds, GpuDirectSumResult, GpuEngine,
+    GpuFieldRunReport, GpuRunReport, GpuSimBreakdown,
 };

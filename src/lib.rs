@@ -12,7 +12,10 @@
 //!   precompute kernels, asynchronous streams.
 //! - [`dist`] — the distributed pipeline: RCB domain decomposition
 //!   ([`rcb_partition`]), locally essential trees built over passive-target
-//!   RMA ([`mpi_sim`]).
+//!   RMA ([`mpi_sim`]). Both potentials (`dist::run_distributed`) and
+//!   force fields — potentials + 3-component gradients —
+//!   (`dist::run_distributed_field`) run distributed; see
+//!   `examples/distributed_forces.rs`.
 //!
 //! ## Quickstart
 //!

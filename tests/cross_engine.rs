@@ -2,7 +2,7 @@
 //! simulated GPU, distributed multi-rank) must agree on the same problem.
 
 use bltc::core::prelude::*;
-use bltc::dist::{run_distributed, DistConfig};
+use bltc::dist::{run_distributed, run_distributed_field, DistConfig};
 use bltc::gpu::GpuEngine;
 use bltc::gpu_sim::DeviceSpec;
 
@@ -98,6 +98,93 @@ fn rank_counts_agree_with_each_other() {
         let dr = run_distributed(&ps, ranks, &cfg, &Yukawa::default());
         let diff = relative_l2_error(&d1.potentials, &dr.potentials);
         assert!(diff < 1e-4, "{ranks} ranks vs 1 rank: {diff}");
+    }
+}
+
+#[test]
+fn gradient_parity_across_engines_for_all_gradient_kernels() {
+    // The field counterpart of `serial_parallel_gpu_agree_bitwise`:
+    // CPU serial, CPU parallel, and simulated-GPU field evaluation must
+    // agree bitwise for every built-in GradientKernel.
+    let ps = problem(2200, 107);
+    let params = BltcParams::new(0.7, 5, 120, 120);
+    let kernels: Vec<Box<dyn GradientKernel>> = vec![
+        Box::new(Coulomb),
+        Box::new(Yukawa::new(0.5)),
+        Box::new(RegularizedCoulomb::new(0.05)),
+    ];
+    let prep = PreparedTreecode::new(&ps, &ps, params);
+    for k in &kernels {
+        let serial = prep.evaluate_field(k.as_ref());
+        let parallel = prep.evaluate_field_parallel(k.as_ref());
+        let gpu = GpuEngine::new(params).compute_field_detailed(&ps, &ps, k.as_ref());
+        for (name, s, p, g) in [
+            (
+                "pot",
+                &serial.potentials,
+                &parallel.potentials,
+                &gpu.field.potentials,
+            ),
+            ("gx", &serial.gx, &parallel.gx, &gpu.field.gx),
+            ("gy", &serial.gy, &parallel.gy, &gpu.field.gy),
+            ("gz", &serial.gz, &parallel.gz, &gpu.field.gz),
+        ] {
+            assert_eq!(s, p, "{}: serial vs parallel {name}", k.name());
+            assert_eq!(s, g, "{}: serial vs gpu {name}", k.name());
+        }
+    }
+}
+
+#[test]
+fn distributed_single_rank_field_equals_gpu_engine() {
+    let ps = problem(1600, 108);
+    let params = BltcParams::new(0.8, 4, 100, 100);
+    let cfg = DistConfig::comet(params);
+    let dist = run_distributed_field(&ps, 1, &cfg, &Yukawa::default());
+    let gpu = GpuEngine::with_spec(params, DeviceSpec::p100()).compute_field_detailed(
+        &ps,
+        &ps,
+        &Yukawa::default(),
+    );
+    assert_eq!(dist.field.potentials, gpu.field.potentials);
+    assert_eq!(dist.field.gx, gpu.field.gx);
+    assert_eq!(dist.field.gy, gpu.field.gy);
+    assert_eq!(dist.field.gz, gpu.field.gz);
+}
+
+#[test]
+fn all_field_engines_converge_to_direct_sum_field() {
+    let ps = problem(2000, 109);
+    let params = BltcParams::new(0.7, 6, 100, 100);
+    let exact = direct_sum_field(&ps, &ps, &Coulomb);
+    let prep = PreparedTreecode::new(&ps, &ps, params);
+    let results = [
+        ("cpu-serial", prep.evaluate_field(&Coulomb)),
+        ("cpu-parallel", prep.evaluate_field_parallel(&Coulomb)),
+        (
+            "gpu-sim",
+            GpuEngine::new(params)
+                .compute_field_detailed(&ps, &ps, &Coulomb)
+                .field,
+        ),
+        (
+            "dist(3)",
+            run_distributed_field(&ps, 3, &DistConfig::comet(params), &Coulomb).field,
+        ),
+    ];
+    for (name, f) in &results {
+        assert!(
+            relative_l2_error(&exact.potentials, &f.potentials) < 1e-4,
+            "{name}: potentials"
+        );
+        for (c, a, b) in [
+            ("gx", &exact.gx, &f.gx),
+            ("gy", &exact.gy, &f.gy),
+            ("gz", &exact.gz, &f.gz),
+        ] {
+            let err = relative_l2_error(a, b);
+            assert!(err < 1e-3, "{name}: {c} err {err}");
+        }
     }
 }
 

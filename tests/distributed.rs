@@ -107,7 +107,15 @@ fn phase_totals_are_consistent() {
             (r.setup_total() + r.precompute_s + r.compute_s - total).abs() < 1e-12,
             "phases must sum to the total"
         );
+        // The comm clock runs iff the rank originated RMA traffic, and
+        // that traffic is fully visible in the report.
+        assert_eq!(r.let_bytes > 0, r.setup_comm_s > 0.0, "rank {}", r.rank);
+        assert!(r.let_messages > 0, "multi-rank LET must exchange skeletons");
     }
+    // No unaccounted RMA: the runtime's matrix reconciles exactly with
+    // the per-rank tallies that drive the modeled comm seconds.
+    let tally_bytes: u64 = rep.ranks.iter().map(|r| r.let_bytes).sum();
+    assert_eq!(tally_bytes, rep.traffic.total_remote_bytes());
     assert!(rep.total_s <= rep.setup_s + rep.precompute_s + rep.compute_s + 1e-12);
     assert!(rep.total_s >= rep.setup_s.max(rep.precompute_s).max(rep.compute_s));
 }
