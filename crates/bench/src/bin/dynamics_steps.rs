@@ -1,0 +1,77 @@
+//! Time-per-step scaling of the distributed dynamics driver: a fixed
+//! Plummer sphere advanced with velocity-Verlet on 1/2/4/8 simulated
+//! ranks, reporting the modeled per-step clock (setup / precompute /
+//! compute / repartition), the per-step RMA volume, and the strong
+//! parallel efficiency vs the single-rank run.
+//!
+//! Times are the bulk-synchronous model of `bltc-dist` (max over
+//! ranks per phase) — one rank pays no communication, multi-rank runs
+//! trade smaller per-rank compute against LET traffic, exactly the
+//! balance Figs. 5–6 of the paper measure for a single evaluation,
+//! here compounded over a time integration.
+//!
+//! ```text
+//! cargo run --release --bin dynamics_steps [-- --n 8000 --steps 10 \
+//!     --dt 1e-3 --max-ranks 8 --repartition-every 5]
+//! ```
+
+use bltc_bench::Args;
+use bltc_core::config::BltcParams;
+use bltc_dist::DistConfig;
+use bltc_sim::{plummer_sphere, Integrator, SimConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.usize("n", 8_000);
+    let steps = args.usize("steps", 10);
+    let dt = args.f64("dt", 1e-3);
+    let max_ranks = args.usize("max-ranks", 8);
+    let every = args.usize("repartition-every", 5) as u64;
+    let theta = args.f64("theta", 0.7);
+    let degree = args.usize("degree", 6);
+    let cap = args.usize("cap", 200);
+    let seed = args.usize("seed", 42) as u64;
+    let params = BltcParams::new(theta, degree, cap, cap);
+
+    println!("dynamics time-per-step scaling — Plummer sphere, velocity-Verlet");
+    println!(
+        "N = {n}, {steps} steps, dt = {dt}, repartition every {every}, \
+         θ = {theta}, n = {degree}, N_L = N_B = {cap}\n"
+    );
+    println!(
+        "ranks   s/step      setup%  precomp%  compute%  repart%   RMA KiB/step   drift      eff%"
+    );
+
+    let mut ranks_list = vec![1usize];
+    while *ranks_list.last().unwrap() < max_ranks {
+        ranks_list.push(ranks_list.last().unwrap() * 2);
+    }
+
+    let mut base_per_step = None;
+    for &ranks in &ranks_list {
+        let (mut state, model) = plummer_sphere(n, 1.0, 0.05, seed);
+        let cfg =
+            SimConfig::new(DistConfig::comet(params), ranks, dt).with_repartition_every(every);
+        let mut integrator = Integrator::new(cfg, &state, &model);
+        integrator.run(&mut state, &model, steps);
+        let rep = integrator.report();
+
+        let per_step = rep.seconds_per_step();
+        let share = |s: f64| 100.0 * s / rep.total_s;
+        let base = *base_per_step.get_or_insert(per_step);
+        println!(
+            "{:>5}   {:>9.6}   {:>5.1}  {:>7.1}  {:>7.1}  {:>6.1}   {:>12.1}   {:.2e}   {:>5.1}",
+            ranks,
+            per_step,
+            share(rep.setup_s),
+            share(rep.precompute_s),
+            share(rep.compute_s),
+            share(rep.repartition_host_s),
+            rep.rma_bytes as f64 / 1024.0 / rep.force_evals as f64,
+            rep.max_relative_energy_drift(),
+            100.0 * base / (per_step * ranks as f64),
+        );
+    }
+
+    println!("\neff% = t(1 rank) / (ranks · t(ranks)) — strong-scaling efficiency");
+}

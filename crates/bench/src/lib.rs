@@ -9,6 +9,7 @@
 //! | `fig5_weak`        | Fig. 5 — weak scaling, 1→32 GPUs |
 //! | `fig6_strong`      | Fig. 6 — strong scaling + phase breakdown |
 //! | `ablation_streams` | §3.2 — async-stream ablation (~25% claim) |
+//! | `dynamics_steps`   | time-per-step scaling of the `bltc-sim` driver, 1→8 ranks |
 //!
 //! Default problem sizes are scaled to a single-core container (the paper
 //! ran 1M–1B particles on Titan V / 32×P100); every binary takes `--n`
@@ -18,6 +19,24 @@
 //! EXPERIMENTS.md for the calibration discussion).
 //!
 //! Criterion micro-benchmarks live in `benches/microbench.rs`.
+//!
+//! ## Example
+//!
+//! The flag parser every harness shares:
+//!
+//! ```
+//! use bltc_bench::Args;
+//!
+//! let args = Args::from_vec(vec![
+//!     "--n".into(), "5000".into(),
+//!     "--theta".into(), "0.8".into(),
+//!     "--forces".into(),
+//! ]);
+//! assert_eq!(args.usize("n", 1000), 5000);
+//! assert_eq!(args.f64("theta", 0.5), 0.8);
+//! assert!(args.flag("forces"));
+//! assert_eq!(args.usize("missing", 7), 7);
+//! ```
 
 use bltc_core::cost::{CpuSpec, OpCounts};
 use bltc_core::error::relative_l2_error;

@@ -262,6 +262,64 @@ impl Kernel for Yukawa {
     }
 }
 
+/// Regularized (softened) Yukawa
+/// `G = e^{-κ d} / d` with `d = sqrt(|x-y|² + ε²)` — the screened
+/// electrostatic kernel with a finite-ion-size core, the standard
+/// interaction for electrolyte / coarse-grained MD boxes where bare
+/// Yukawa ion pairs would collapse into the singularity. Smooth
+/// everywhere; reduces to [`Yukawa`] as `ε → 0` and to
+/// [`RegularizedCoulomb`] at `κ = 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct RegularizedYukawa {
+    /// Inverse Debye length κ ≥ 0.
+    pub kappa: f64,
+    /// Softening (ion-core) length ε > 0.
+    pub epsilon: f64,
+}
+
+impl RegularizedYukawa {
+    /// Construct with screening `κ ≥ 0` and softening `ε > 0`.
+    pub fn new(kappa: f64, epsilon: f64) -> Self {
+        assert!(kappa >= 0.0 && kappa.is_finite(), "invalid kappa: {kappa}");
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "invalid epsilon");
+        Self { kappa, epsilon }
+    }
+}
+
+impl Kernel for RegularizedYukawa {
+    #[inline]
+    fn eval(&self, dx: f64, dy: f64, dz: f64) -> f64 {
+        let d2 = dx * dx + dy * dy + dz * dz + self.epsilon * self.epsilon;
+        let d = d2.sqrt();
+        (-self.kappa * d).exp() / d
+    }
+
+    fn name(&self) -> &'static str {
+        "regularized-yukawa"
+    }
+
+    // Yukawa cost + the softening add.
+    fn flops_per_eval_cpu(&self) -> f64 {
+        23.6
+    }
+
+    fn flops_per_eval_gpu(&self) -> f64 {
+        11.5
+    }
+}
+
+impl GradientKernel for RegularizedYukawa {
+    #[inline]
+    fn eval_with_grad(&self, dx: f64, dy: f64, dz: f64) -> (f64, f64, f64, f64) {
+        let d2 = dx * dx + dy * dy + dz * dz + self.epsilon * self.epsilon;
+        let d = d2.sqrt();
+        let g = (-self.kappa * d).exp() / d;
+        // ∂(e^{-κd}/d)/∂dx = -dx (κ d + 1) e^{-κd} / d³
+        let c = -g * (self.kappa * d + 1.0) / d2;
+        (g, c * dx, c * dy, c * dz)
+    }
+}
+
 /// Regularized (Plummer-softened) Coulomb `G = 1 / sqrt(|x-y|² + ε²)`,
 /// ubiquitous in gravitational N-body codes; smooth everywhere, so no
 /// singularity guard is needed.
@@ -366,6 +424,36 @@ mod tests {
         let c = Coulomb;
         assert!(y.eval(10.0, 0.0, 0.0) / c.eval(10.0, 0.0, 0.0) < 0.01);
         assert_eq!(y.eval(0.0, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn regularized_yukawa_limits() {
+        // ε → 0 recovers Yukawa away from the origin.
+        let ry = RegularizedYukawa::new(0.5, 1e-9);
+        let y = Yukawa::new(0.5);
+        assert!((ry.eval(1.0, 2.0, -0.5) - y.eval(1.0, 2.0, -0.5)).abs() < 1e-12);
+        // κ = 0 recovers the regularized Coulomb exactly.
+        let rc = RegularizedCoulomb::new(0.1);
+        let r0 = RegularizedYukawa::new(0.0, 0.1);
+        assert_eq!(r0.eval(0.3, -0.4, 0.5), rc.eval(0.3, -0.4, 0.5));
+        // Finite (no singularity guard needed) at zero displacement.
+        let r = RegularizedYukawa::new(2.0, 0.1);
+        assert!((r.eval(0.0, 0.0, 0.0) - (-0.2f64).exp() * 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regularized_yukawa_gradient_matches_finite_differences() {
+        let k = RegularizedYukawa::new(2.0, 0.1);
+        let (x, y, z) = (0.3, -0.7, 0.4);
+        let h = 1e-6;
+        let (_, gx, gy, gz) = k.eval_with_grad(x, y, z);
+        let fd = |f: f64, b: f64| (f - b) / (2.0 * h);
+        let dx = fd(k.eval(x + h, y, z), k.eval(x - h, y, z));
+        let dy = fd(k.eval(x, y + h, z), k.eval(x, y - h, z));
+        let dz = fd(k.eval(x, y, z + h), k.eval(x, y, z - h));
+        assert!((gx - dx).abs() < 1e-7, "gx {gx} vs fd {dx}");
+        assert!((gy - dy).abs() < 1e-7);
+        assert!((gz - dz).abs() < 1e-7);
     }
 
     #[test]

@@ -34,6 +34,21 @@
 //! - [`engine`] — serial and parallel CPU engines, plus direct summation
 //! - [`error`] — relative 2-norm error (Eq. 16)
 //! - [`cost`] — analytic op-count → seconds models shared with the GPU sim
+//!
+//! ## Example
+//!
+//! The whole method in five lines — treecode potentials within MAC
+//! accuracy of the `O(N²)` direct sum:
+//!
+//! ```
+//! use bltc_core::prelude::*;
+//!
+//! let ps = ParticleSet::random_cube(1_000, 42);
+//! let engine = SerialEngine::new(BltcParams::new(0.7, 6, 100, 100));
+//! let approx = engine.compute(&ps, &ps, &Coulomb);
+//! let exact = direct_sum(&ps, &ps, &Coulomb);
+//! assert!(relative_l2_error(&exact, &approx.potentials) < 1e-4);
+//! ```
 
 pub mod charges;
 pub mod config;
@@ -65,7 +80,7 @@ pub mod prelude {
     pub use crate::interp::chebyshev::ChebyshevGrid1D;
     pub use crate::interp::tensor::TensorGrid;
     pub use crate::kernel::{
-        Coulomb, Gaussian, GradientKernel, Kernel, RegularizedCoulomb, Yukawa,
+        Coulomb, Gaussian, GradientKernel, Kernel, RegularizedCoulomb, RegularizedYukawa, Yukawa,
     };
     pub use crate::mac::Mac;
     pub use crate::particles::ParticleSet;

@@ -1,5 +1,6 @@
 //! Barycentric **cluster-particle** and **cluster-cluster** treecode
-//! variants — the §5 future-work direction the paper cites as [30]–[32].
+//! variants — the §5 future-work direction the paper cites as
+//! \[30\]–\[32\].
 //!
 //! The particle-cluster (PC) scheme of the paper interpolates the kernel
 //! over the *source* cluster. Its duals:

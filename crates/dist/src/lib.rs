@@ -41,7 +41,33 @@
 //! device kernels (~4× the flops, charged to the device clock) and a 4×
 //! DtH volume. Every rank's one-sided traffic is reported in
 //! [`RankReport::let_messages`]/[`RankReport::let_bytes`] and must
-//! reconcile exactly with the runtime's [`TrafficMatrix`].
+//! reconcile exactly with the runtime's [`TrafficMatrix`] (see the
+//! invariants on [`RankReport`]).
+//!
+//! Time-stepping drivers (`bltc-sim`) re-enter the field pipeline once
+//! per step through [`run_distributed_field_on`], which accepts a
+//! cached RCB partition so the domain decomposition can be refreshed on
+//! a cadence instead of every step.
+//!
+//! ## Example
+//!
+//! Two simulated ranks evaluating Coulomb potentials, with the traffic
+//! reconciliation every report guarantees:
+//!
+//! ```
+//! use bltc_core::config::BltcParams;
+//! use bltc_core::kernel::Coulomb;
+//! use bltc_core::particles::ParticleSet;
+//! use bltc_dist::{run_distributed, DistConfig};
+//!
+//! let ps = ParticleSet::random_cube(300, 7);
+//! let cfg = DistConfig::comet(BltcParams::new(0.8, 3, 50, 50));
+//! let rep = run_distributed(&ps, 2, &cfg, &Coulomb);
+//!
+//! assert_eq!(rep.potentials.len(), ps.len());
+//! let tallied: u64 = rep.ranks.iter().map(|r| r.let_bytes).sum();
+//! assert_eq!(tallied, rep.traffic.total_remote_bytes());
+//! ```
 
 mod letree;
 pub mod model;
@@ -115,6 +141,25 @@ pub struct LetStats {
 
 /// Per-rank result of a distributed run: sizes, LET statistics, exact
 /// op counts, and the modeled three-phase clock.
+///
+/// # Traffic-accounting invariants
+///
+/// The per-rank tallies are not estimates; they are counted at the RMA
+/// call sites and must reconcile *exactly* against the runtime's
+/// [`TrafficMatrix`] (the test suites enforce this):
+///
+/// 1. `Σ_ranks let_messages == traffic.total_remote_messages()` and
+///    `Σ_ranks let_bytes == traffic.total_remote_bytes()` — every
+///    one-sided operation a rank originates targets a *remote* rank
+///    (a rank never fetches its own windows), so the rank tallies and
+///    the matrix's remote totals count the same set of operations.
+/// 2. All traffic happens during LET construction (setup). Evaluation
+///    — potential or gradient — adds **zero** RMA operations, so a
+///    field run's matrix is per-pair identical to a potential-only run
+///    on the same decomposition.
+/// 3. Phase clocks satisfy
+///    `setup_total() + precompute_s + compute_s == total()` by
+///    construction (no hidden phases).
 #[derive(Debug, Clone)]
 pub struct RankReport {
     /// Rank id.
@@ -198,6 +243,14 @@ impl DistReport {
 /// run: the per-rank field results assembled back into original target
 /// order, plus the same per-rank/phase/traffic accounting as
 /// [`DistReport`].
+///
+/// The [`RankReport`] traffic-accounting invariants hold here verbatim:
+/// summed per-rank `let_messages`/`let_bytes` equal the
+/// [`TrafficMatrix`] remote totals, the matrix is per-pair identical to
+/// a potential-only run of the same problem (gradient evaluation
+/// fetches nothing extra), and time-stepping drivers may therefore
+/// accumulate step matrices ([`TrafficMatrix::accumulate`]) knowing the
+/// cumulative matrix still reconciles against summed rank tallies.
 #[derive(Debug, Clone)]
 pub struct DistFieldReport {
     /// Potentials and gradients in the *original* (global) target order.
@@ -557,6 +610,62 @@ pub fn run_distributed_field<K: GradientKernel + ?Sized>(
     kernel: &K,
 ) -> DistFieldReport {
     let (part, locals) = decompose(ps, ranks, cfg);
+    run_field_pipeline(ps, &part, &locals, cfg, kernel)
+}
+
+/// Step-level re-entry into the field pipeline: run it with a
+/// **caller-supplied** RCB partition instead of recomputing one.
+///
+/// Time-stepping drivers (`bltc-sim`) call the force evaluation once
+/// per step while particle *positions* drift slowly relative to the
+/// decomposition; re-partitioning every step would charge the RCB host
+/// cost N times for no accuracy gain. This entry point lets the driver
+/// hold the partition fixed between repartition-cadence boundaries:
+/// rank ownership is frozen (so per-rank particle counts cannot
+/// change), while trees, charges, windows, and LETs are rebuilt from
+/// the *current* positions on every call — they must be, since every
+/// particle has moved.
+///
+/// A stale partition is still *correct* — the per-rank source trees are
+/// built from the particles' live bounding boxes, not from the original
+/// RCB regions — it is merely less compact, which surfaces honestly as
+/// more LET traffic in the returned [`DistFieldReport::traffic`]. That
+/// is exactly the trade a repartition cadence buys.
+///
+/// # Panics
+///
+/// Panics if the partition does not cover `ps` (assignment length
+/// mismatch), if any part is empty, or on invalid `cfg.params`.
+pub fn run_distributed_field_on<K: GradientKernel + ?Sized>(
+    ps: &ParticleSet,
+    part: &RcbPartition,
+    cfg: &DistConfig,
+    kernel: &K,
+) -> DistFieldReport {
+    assert_eq!(
+        part.assignment.len(),
+        ps.len(),
+        "partition does not cover the particle set"
+    );
+    assert!(
+        part.part_indices.iter().all(|p| !p.is_empty()),
+        "every rank needs at least one particle"
+    );
+    cfg.params.validate();
+    let locals = partition_particles(ps, part);
+    run_field_pipeline(ps, part, &locals, cfg, kernel)
+}
+
+/// Shared body of [`run_distributed_field`] /
+/// [`run_distributed_field_on`]: the SPMD run plus global assembly.
+fn run_field_pipeline<K: GradientKernel + ?Sized>(
+    ps: &ParticleSet,
+    part: &RcbPartition,
+    locals: &[ParticleSet],
+    cfg: &DistConfig,
+    kernel: &K,
+) -> DistFieldReport {
+    let ranks = part.num_parts();
     let kref = KernelRef(kernel);
     let params = cfg.params;
 

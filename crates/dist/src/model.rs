@@ -62,6 +62,20 @@ impl HostModel {
             + self.per_launch_s * kernel_launches as f64
             + self.per_fetched_particle_s * fetched_particles as f64
     }
+
+    /// Modeled host seconds for one RCB decomposition of `n` particles
+    /// into `parts` parts.
+    ///
+    /// RCB performs `⌈log₂ parts⌉` bisection levels, each touching every
+    /// particle once (median selection + sides split) — the same
+    /// per-particle-per-level work class as tree construction, so the
+    /// same coefficient is charged. Time-stepping drivers
+    /// (`bltc-sim`) charge this only on repartition-cadence steps,
+    /// which is what makes the cadence visible in the modeled clock.
+    pub fn repartition_seconds(&self, n: usize, parts: usize) -> f64 {
+        let levels = (parts.max(1) as f64).log2().ceil().max(1.0);
+        self.base_s + self.per_particle_level_s * n as f64 * levels
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +106,18 @@ mod tests {
     fn zero_levels_clamped() {
         let m = HostModel::default();
         assert!(m.setup_seconds(1000, 0, 0, 0) > m.base_s);
+    }
+
+    #[test]
+    fn repartition_cost_grows_with_particles_and_parts() {
+        let m = HostModel::default();
+        let base = m.repartition_seconds(10_000, 4);
+        assert!(base > m.base_s);
+        assert!(m.repartition_seconds(20_000, 4) > base);
+        assert!(m.repartition_seconds(10_000, 16) > base);
+        // One part still pays one pass over the particles.
+        assert!(m.repartition_seconds(10_000, 1) > m.base_s);
+        // Deterministic, like every clock in the workspace.
+        assert_eq!(base, m.repartition_seconds(10_000, 4));
     }
 }

@@ -24,6 +24,24 @@
 //! Numerical results are produced by the same scalar code paths as the
 //! CPU engines (same summation order, same product association), so CPU
 //! and GPU potentials agree **bitwise**; only the *clock* differs.
+//!
+//! ## Example
+//!
+//! The bitwise-parity contract, demonstrated:
+//!
+//! ```
+//! use bltc_core::config::BltcParams;
+//! use bltc_core::engine::{SerialEngine, TreecodeEngine};
+//! use bltc_core::kernel::Coulomb;
+//! use bltc_core::particles::ParticleSet;
+//! use bltc_gpu::GpuEngine;
+//!
+//! let ps = ParticleSet::random_cube(400, 3);
+//! let params = BltcParams::new(0.8, 3, 50, 50);
+//! let cpu = SerialEngine::new(params).compute(&ps, &ps, &Coulomb);
+//! let gpu = GpuEngine::new(params).compute(&ps, &ps, &Coulomb);
+//! assert_eq!(cpu.potentials, gpu.potentials, "same bits, different clock");
+//! ```
 
 pub mod engine;
 pub mod kernels;

@@ -30,6 +30,39 @@ impl TrafficMatrix {
         }
     }
 
+    /// An all-zero `size × size` matrix — the identity for
+    /// [`TrafficMatrix::accumulate`]. Time-stepping drivers start from
+    /// this and fold in the matrix of every step's distributed run.
+    pub fn zeros(size: usize) -> Self {
+        Self::new(size)
+    }
+
+    /// Element-wise add another run's traffic into this matrix.
+    ///
+    /// The accumulated matrix preserves the per-(origin, target)
+    /// resolution, so cumulative reports (e.g. a whole simulation's RMA
+    /// volume) reconcile against per-step tallies exactly:
+    /// `acc.total_remote_bytes()` equals the sum of every step's
+    /// `total_remote_bytes()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two matrices have different sizes (traffic from
+    /// runs with different rank counts is not meaningfully additive).
+    pub fn accumulate(&mut self, other: &TrafficMatrix) {
+        assert_eq!(
+            self.size(),
+            other.size(),
+            "cannot accumulate traffic across different rank counts"
+        );
+        for (dst_row, src_row) in self.entries.iter_mut().zip(&other.entries) {
+            for (dst, src) in dst_row.iter_mut().zip(src_row) {
+                dst.messages += src.messages;
+                dst.bytes += src.bytes;
+            }
+        }
+    }
+
     /// Entry accessor.
     pub fn get(&self, origin: usize, target: usize) -> Traffic {
         self.entries[origin][target]
@@ -64,6 +97,11 @@ impl TrafficMatrix {
     /// Grand total of remote bytes across all pairs.
     pub fn total_remote_bytes(&self) -> u64 {
         (0..self.size()).map(|o| self.remote_bytes_from(o)).sum()
+    }
+
+    /// Grand total of remote messages across all pairs.
+    pub fn total_remote_messages(&self) -> u64 {
+        (0..self.size()).map(|o| self.remote_messages_from(o)).sum()
     }
 }
 
@@ -188,7 +226,48 @@ mod tests {
         assert_eq!(m.remote_bytes_from(0), 100, "local traffic excluded");
         assert_eq!(m.remote_messages_from(0), 2);
         assert_eq!(m.total_remote_bytes(), 150);
+        assert_eq!(m.total_remote_messages(), 3);
         assert_eq!(m.get(2, 0).bytes, 50);
+    }
+
+    #[test]
+    fn traffic_accumulation_is_elementwise_and_exact() {
+        let mut a = TrafficMatrix::zeros(2);
+        a.entries[0][1] = Traffic {
+            messages: 3,
+            bytes: 30,
+        };
+        let mut b = TrafficMatrix::zeros(2);
+        b.entries[0][1] = Traffic {
+            messages: 1,
+            bytes: 12,
+        };
+        b.entries[1][0] = Traffic {
+            messages: 2,
+            bytes: 8,
+        };
+
+        let mut acc = TrafficMatrix::zeros(2);
+        acc.accumulate(&a);
+        acc.accumulate(&b);
+        assert_eq!(acc.get(0, 1).messages, 4);
+        assert_eq!(acc.get(0, 1).bytes, 42);
+        assert_eq!(acc.get(1, 0).bytes, 8);
+        assert_eq!(
+            acc.total_remote_bytes(),
+            a.total_remote_bytes() + b.total_remote_bytes()
+        );
+        assert_eq!(
+            acc.total_remote_messages(),
+            a.total_remote_messages() + b.total_remote_messages()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different rank counts")]
+    fn accumulation_across_sizes_rejected() {
+        let mut a = TrafficMatrix::zeros(2);
+        a.accumulate(&TrafficMatrix::zeros(3));
     }
 
     #[test]

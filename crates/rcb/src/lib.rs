@@ -11,6 +11,21 @@
 //! The partitioner returns, per part: the particle indices, the particle
 //! count, and the *region* box (the recursive sub-rectangle of the
 //! domain, whose areas Fig. 2 reports as exactly 1/4 and 1/6).
+//!
+//! ## Example
+//!
+//! Fig. 2b's six-way decomposition of a unit-square cloud — part sizes
+//! balanced to within one particle:
+//!
+//! ```
+//! use rcb::{rcb_partition, unit_square_cloud};
+//!
+//! let ps = unit_square_cloud(200, 1);
+//! let part = rcb_partition(&ps, 6, None);
+//! assert_eq!(part.num_parts(), 6);
+//! let (max, min) = part.balance();
+//! assert!(max - min <= 1, "RCB balances counts: {max} vs {min}");
+//! ```
 
 use bltc_core::geometry::{BoundingBox, Point3};
 use bltc_core::particles::ParticleSet;

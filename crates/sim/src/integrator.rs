@@ -1,0 +1,378 @@
+//! The velocity-Verlet driver over the distributed field pipeline.
+
+use bltc_dist::{run_distributed_field_on, DistConfig, DistFieldReport};
+use mpi_sim::runtime::TrafficMatrix;
+use rcb::{rcb_partition, RcbPartition};
+
+use crate::forces::ForceModel;
+use crate::state::SimState;
+
+/// Configuration of a distributed dynamics run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Distributed-evaluation configuration (treecode parameters, GPU
+    /// model, fabric, host model).
+    pub dist: DistConfig,
+    /// Simulated ranks driving each force evaluation.
+    pub ranks: usize,
+    /// Integration time step.
+    pub dt: f64,
+    /// RCB repartition cadence: the domain decomposition is recomputed
+    /// on steps where `state.step % repartition_every == 0` (so `1`
+    /// repartitions every step). Between cadence boundaries the stale
+    /// partition is reused — correct but progressively less compact,
+    /// which surfaces as growing LET traffic in the step reports.
+    pub repartition_every: u64,
+}
+
+impl SimConfig {
+    /// Construct from a distributed-evaluation configuration (used
+    /// as given — no preset is applied), rank count, and time step;
+    /// the repartition cadence defaults to every 10 steps.
+    pub fn new(dist: DistConfig, ranks: usize, dt: f64) -> Self {
+        Self {
+            dist,
+            ranks,
+            dt,
+            repartition_every: 10,
+        }
+    }
+
+    /// Set the repartition cadence (must be ≥ 1).
+    pub fn with_repartition_every(mut self, every: u64) -> Self {
+        self.repartition_every = every;
+        self
+    }
+
+    fn validate(&self, n: usize) {
+        assert!(self.ranks >= 1, "need at least one rank");
+        assert!(
+            self.ranks <= n,
+            "more ranks ({}) than particles ({n})",
+            self.ranks
+        );
+        assert!(
+            self.dt > 0.0 && self.dt.is_finite(),
+            "dt must be positive and finite, got {}",
+            self.dt
+        );
+        assert!(
+            self.repartition_every >= 1,
+            "repartition cadence must be >= 1"
+        );
+        self.dist.params.validate();
+    }
+}
+
+/// What one velocity-Verlet step did and cost.
+///
+/// The RMA tallies come in two independently-counted forms — the sum of
+/// the per-rank [`bltc_dist::RankReport`] call-site tallies and the
+/// runtime [`TrafficMatrix`] totals — and the two must agree exactly
+/// (`rank_msgs == matrix_msgs`, `rank_bytes == matrix_bytes`); the
+/// integrator asserts it on every step, and the dynamics example
+/// re-checks it externally.
+#[derive(Debug, Clone, Copy)]
+pub struct StepReport {
+    /// Step index after this step (first step reports 1).
+    pub step: u64,
+    /// Simulation time after this step.
+    pub time: f64,
+    /// Whether this step recomputed the RCB partition.
+    pub repartitioned: bool,
+    /// Modeled host seconds of the repartition (zero when not taken).
+    pub repartition_host_s: f64,
+    /// Bulk-synchronous setup seconds of this step's field evaluation.
+    pub setup_s: f64,
+    /// Bulk-synchronous precompute seconds.
+    pub precompute_s: f64,
+    /// Bulk-synchronous compute seconds.
+    pub compute_s: f64,
+    /// Modeled step seconds: field-evaluation total plus the
+    /// repartition host cost.
+    pub total_s: f64,
+    /// One-sided messages this step, summed from per-rank tallies.
+    pub rank_msgs: u64,
+    /// One-sided payload bytes this step, summed from per-rank tallies.
+    pub rank_bytes: u64,
+    /// Remote messages this step per the runtime's [`TrafficMatrix`].
+    pub matrix_msgs: u64,
+    /// Remote bytes this step per the runtime's [`TrafficMatrix`].
+    pub matrix_bytes: u64,
+    /// Kinetic energy after the step.
+    pub kinetic: f64,
+    /// Potential energy after the step (from the same field evaluation
+    /// that produced the forces — no extra pass).
+    pub potential: f64,
+}
+
+impl StepReport {
+    /// Total energy after the step.
+    pub fn total_energy(&self) -> f64 {
+        self.kinetic + self.potential
+    }
+}
+
+/// Cumulative record of a dynamics run: step and repartition counts,
+/// summed modeled phase clocks, accumulated RMA traffic, and the energy
+/// envelope.
+///
+/// Traffic is accumulated per (origin, target) pair
+/// ([`TrafficMatrix::accumulate`]), so the cumulative matrix reconciles
+/// exactly against the summed per-step tallies:
+/// `traffic.total_remote_bytes() == rma_bytes` always.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Velocity-Verlet steps taken.
+    pub steps: u64,
+    /// Distributed field evaluations (steps + the initial one).
+    pub force_evals: u64,
+    /// RCB repartitions performed (including the initial one).
+    pub repartitions: u64,
+    /// Summed modeled host seconds spent repartitioning.
+    pub repartition_host_s: f64,
+    /// Summed bulk-synchronous setup seconds.
+    pub setup_s: f64,
+    /// Summed bulk-synchronous precompute seconds.
+    pub precompute_s: f64,
+    /// Summed bulk-synchronous compute seconds.
+    pub compute_s: f64,
+    /// Summed modeled seconds (field evaluations + repartitions).
+    pub total_s: f64,
+    /// Cumulative one-sided messages (per-rank tallies).
+    pub rma_messages: u64,
+    /// Cumulative one-sided payload bytes (per-rank tallies).
+    pub rma_bytes: u64,
+    /// Cumulative per-pair traffic matrix.
+    pub traffic: TrafficMatrix,
+    /// Total energy at `t = 0` (after the initial force evaluation).
+    pub initial_energy: f64,
+    /// Total energy after the latest step.
+    pub final_energy: f64,
+    /// Largest `|E(t) - E(0)|` seen at any step boundary.
+    pub max_abs_energy_drift: f64,
+}
+
+impl SimReport {
+    /// Largest relative energy drift `max_t |E(t) − E(0)| / |E(0)|`
+    /// over the run — the symplectic-integrator health number the
+    /// acceptance tests bound.
+    pub fn max_relative_energy_drift(&self) -> f64 {
+        self.max_abs_energy_drift / self.initial_energy.abs().max(f64::MIN_POSITIVE)
+    }
+
+    /// Mean modeled seconds per force evaluation, repartition cost
+    /// amortized in. The denominator is `force_evals` (steps + the
+    /// initial evaluation, whose cost `total_s` also contains), so the
+    /// ratio is exact at any run length — the same denominator the
+    /// per-evaluation RMA averages use.
+    pub fn seconds_per_step(&self) -> f64 {
+        self.total_s / (self.force_evals.max(1)) as f64
+    }
+}
+
+/// A velocity-Verlet integrator driving [`run_distributed_field_on`]
+/// once per step.
+///
+/// Construction performs the initial RCB decomposition and force
+/// evaluation; each [`Integrator::step`] then does the standard
+/// kick–drift–(evaluate)–kick update, reusing the cached accelerations
+/// from the previous step's evaluation so every step costs exactly one
+/// distributed field evaluation.
+pub struct Integrator {
+    cfg: SimConfig,
+    part: RcbPartition,
+    ax: Vec<f64>,
+    ay: Vec<f64>,
+    az: Vec<f64>,
+    potentials: Vec<f64>,
+    report: SimReport,
+}
+
+impl Integrator {
+    /// Decompose the initial state, evaluate initial forces, and record
+    /// the initial energy.
+    pub fn new(cfg: SimConfig, state: &SimState, model: &ForceModel) -> Self {
+        cfg.validate(state.len());
+        let n = state.len();
+        let part = rcb_partition(&state.particles, cfg.ranks, None);
+        let repartition_host_s = cfg.dist.host.repartition_seconds(n, cfg.ranks);
+        let mut this = Self {
+            cfg,
+            part,
+            ax: vec![0.0; n],
+            ay: vec![0.0; n],
+            az: vec![0.0; n],
+            potentials: vec![0.0; n],
+            report: SimReport {
+                steps: 0,
+                force_evals: 0,
+                repartitions: 1,
+                repartition_host_s,
+                setup_s: 0.0,
+                precompute_s: 0.0,
+                compute_s: 0.0,
+                total_s: repartition_host_s,
+                rma_messages: 0,
+                rma_bytes: 0,
+                traffic: TrafficMatrix::zeros(cfg.ranks),
+                initial_energy: 0.0,
+                final_energy: 0.0,
+                max_abs_energy_drift: 0.0,
+            },
+        };
+        this.eval_forces(state, model);
+        let e0 =
+            state.kinetic_energy() + model.potential_energy(&state.particles.q, &this.potentials);
+        this.report.initial_energy = e0;
+        this.report.final_energy = e0;
+        this
+    }
+
+    /// The cumulative run record so far.
+    pub fn report(&self) -> &SimReport {
+        &self.report
+    }
+
+    /// Accelerations at the current positions (from the latest
+    /// evaluation).
+    pub fn accelerations(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.ax, &self.ay, &self.az)
+    }
+
+    /// Potentials at the current positions (from the latest
+    /// evaluation).
+    pub fn potentials(&self) -> &[f64] {
+        &self.potentials
+    }
+
+    /// Total energy of `state` against the cached potentials.
+    pub fn total_energy(&self, state: &SimState, model: &ForceModel) -> f64 {
+        state.kinetic_energy() + model.potential_energy(&state.particles.q, &self.potentials)
+    }
+
+    /// Evaluate the distributed field at the state's current positions,
+    /// refresh cached accelerations/potentials, and fold the report
+    /// into the cumulative record. Returns the evaluation report.
+    fn eval_forces(&mut self, state: &SimState, model: &ForceModel) -> DistFieldReport {
+        let rep =
+            run_distributed_field_on(&state.particles, &self.part, &self.cfg.dist, model.kernel());
+        model.accelerations_into(
+            &rep.field,
+            &state.particles.q,
+            &state.mass,
+            &mut self.ax,
+            &mut self.ay,
+            &mut self.az,
+        );
+        self.potentials.copy_from_slice(&rep.field.potentials);
+
+        let (rank_msgs, rank_bytes) = rank_tallies(&rep);
+        // Invariant 1 of `RankReport`: call-site tallies must equal the
+        // runtime matrix. A violation is a bug in the LET layer, not a
+        // property of the problem — fail loudly even in release.
+        assert_eq!(rank_msgs, rep.traffic.total_remote_messages());
+        assert_eq!(rank_bytes, rep.traffic.total_remote_bytes());
+
+        self.report.force_evals += 1;
+        self.report.setup_s += rep.setup_s;
+        self.report.precompute_s += rep.precompute_s;
+        self.report.compute_s += rep.compute_s;
+        self.report.total_s += rep.total_s;
+        self.report.rma_messages += rank_msgs;
+        self.report.rma_bytes += rank_bytes;
+        self.report.traffic.accumulate(&rep.traffic);
+        rep
+    }
+
+    /// Advance one velocity-Verlet step of `cfg.dt`.
+    ///
+    /// Order: half-kick with the cached accelerations, drift, optional
+    /// repartition on the cadence, one distributed field evaluation at
+    /// the new positions, half-kick with the new accelerations.
+    pub fn step(&mut self, state: &mut SimState, model: &ForceModel) -> StepReport {
+        let dt = self.cfg.dt;
+        let half = 0.5 * dt;
+
+        // Half-kick + drift.
+        for i in 0..state.len() {
+            state.vx[i] += half * self.ax[i];
+            state.vy[i] += half * self.ay[i];
+            state.vz[i] += half * self.az[i];
+            state.particles.x[i] += dt * state.vx[i];
+            state.particles.y[i] += dt * state.vy[i];
+            state.particles.z[i] += dt * state.vz[i];
+        }
+        state.step += 1;
+        state.time += dt;
+
+        // Repartition on the cadence; otherwise reuse the (stale but
+        // correct) decomposition.
+        let repartitioned = state.step.is_multiple_of(self.cfg.repartition_every);
+        let mut repartition_host_s = 0.0;
+        if repartitioned {
+            self.part = rcb_partition(&state.particles, self.cfg.ranks, None);
+            repartition_host_s = self
+                .cfg
+                .dist
+                .host
+                .repartition_seconds(state.len(), self.cfg.ranks);
+            self.report.repartitions += 1;
+            self.report.repartition_host_s += repartition_host_s;
+            self.report.total_s += repartition_host_s;
+        }
+
+        // One distributed field evaluation at the new positions.
+        let rep = self.eval_forces(state, model);
+
+        // Half-kick with the new accelerations.
+        for i in 0..state.len() {
+            state.vx[i] += half * self.ax[i];
+            state.vy[i] += half * self.ay[i];
+            state.vz[i] += half * self.az[i];
+        }
+
+        // Energies from the same evaluation that produced the forces.
+        let kinetic = state.kinetic_energy();
+        let potential = model.potential_energy(&state.particles.q, &self.potentials);
+        self.report.steps += 1;
+        self.report.final_energy = kinetic + potential;
+        let drift = (self.report.final_energy - self.report.initial_energy).abs();
+        self.report.max_abs_energy_drift = self.report.max_abs_energy_drift.max(drift);
+
+        let (rank_msgs, rank_bytes) = rank_tallies(&rep);
+        StepReport {
+            step: state.step,
+            time: state.time,
+            repartitioned,
+            repartition_host_s,
+            setup_s: rep.setup_s,
+            precompute_s: rep.precompute_s,
+            compute_s: rep.compute_s,
+            total_s: rep.total_s + repartition_host_s,
+            rank_msgs,
+            rank_bytes,
+            matrix_msgs: rep.traffic.total_remote_messages(),
+            matrix_bytes: rep.traffic.total_remote_bytes(),
+            kinetic,
+            potential,
+        }
+    }
+
+    /// Advance `steps` steps, returning the per-step reports.
+    pub fn run(
+        &mut self,
+        state: &mut SimState,
+        model: &ForceModel,
+        steps: usize,
+    ) -> Vec<StepReport> {
+        (0..steps).map(|_| self.step(state, model)).collect()
+    }
+}
+
+fn rank_tallies(rep: &DistFieldReport) -> (u64, u64) {
+    (
+        rep.ranks.iter().map(|r| r.let_messages).sum(),
+        rep.ranks.iter().map(|r| r.let_bytes).sum(),
+    )
+}

@@ -16,6 +16,11 @@
 //!   force fields — potentials + 3-component gradients —
 //!   (`dist::run_distributed_field`) run distributed; see
 //!   `examples/distributed_forces.rs`.
+//! - [`sim`] — distributed time integration on top of the field
+//!   pipeline: a velocity-Verlet driver with RCB repartition cadence,
+//!   per-step energy monitoring, and cumulative phase/traffic
+//!   accounting; ready-made Plummer-sphere and screened-electrolyte
+//!   scenarios. See `examples/distributed_dynamics.rs`.
 //!
 //! ## Quickstart
 //!
@@ -34,6 +39,7 @@
 pub use bltc_core as core;
 pub use bltc_dist as dist;
 pub use bltc_gpu as gpu;
+pub use bltc_sim as sim;
 pub use gpu_sim;
 pub use mpi_sim;
 pub use rcb as rcb_partition;
