@@ -1,0 +1,86 @@
+//! Respawn-per-step vs persistent-session amortization: the same
+//! Plummer velocity-Verlet run driven both ways over 1/2/4/8 ranks,
+//! reporting the modeled s/step of each path, the host seconds the
+//! respawn path burns standing up SPMD worlds, and the migration
+//! volume the persistent path moves instead of full repartitions.
+//!
+//! The two paths produce bitwise-identical trajectories (asserted by
+//! `tests/persistent.rs` and the `persistent_dynamics` example); this
+//! harness isolates the *modeled clock* difference: per-step world
+//! spawn + driver gather vs one spawn plus per-epoch submission.
+//!
+//! ```text
+//! cargo run --release --bin dynamics_persistent [-- --n 8000 \
+//!     --steps 10 --dt 1e-3 --max-ranks 8 --repartition-every 5]
+//! ```
+
+use bltc_bench::Args;
+use bltc_core::config::BltcParams;
+use bltc_dist::DistConfig;
+use bltc_sim::{plummer_sphere, Integrator, PersistentIntegrator, SimConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.usize("n", 8_000);
+    let steps = args.usize("steps", 10);
+    let dt = args.f64("dt", 1e-3);
+    let max_ranks = args.usize("max-ranks", 8);
+    let every = args.usize("repartition-every", 5) as u64;
+    let theta = args.f64("theta", 0.7);
+    let degree = args.usize("degree", 6);
+    let cap = args.usize("cap", 200);
+    let seed = args.usize("seed", 42) as u64;
+    let params = BltcParams::new(theta, degree, cap, cap);
+
+    println!("respawn vs persistent s/step — Plummer sphere, velocity-Verlet");
+    println!(
+        "N = {n}, {steps} steps, dt = {dt}, repartition every {every}, \
+         θ = {theta}, n = {degree}, N_L = N_B = {cap}\n"
+    );
+    println!(
+        "ranks   respawn s/step   persist s/step   win%   spawn host s   mig KiB/epoch   migrated"
+    );
+
+    let mut ranks_list = vec![1usize];
+    while *ranks_list.last().unwrap() < max_ranks {
+        ranks_list.push(ranks_list.last().unwrap() * 2);
+    }
+
+    for &ranks in &ranks_list {
+        let cfg =
+            SimConfig::new(DistConfig::comet(params), ranks, dt).with_repartition_every(every);
+
+        let (mut rstate, rmodel) = plummer_sphere(n, 1.0, 0.05, seed);
+        let mut respawn = Integrator::new(cfg, &rstate, &rmodel);
+        respawn.run(&mut rstate, &rmodel, steps);
+        let rrep = respawn.report();
+
+        let (pstate, pmodel) = plummer_sphere(n, 1.0, 0.05, seed);
+        let mut persistent = PersistentIntegrator::new(cfg, &pstate, &pmodel);
+        persistent.run(steps);
+        let prep = persistent.report();
+
+        let r_step = rrep.seconds_per_step();
+        let p_step = prep.seconds_per_step();
+        let mig_kib = if prep.migrations > 0 {
+            prep.migration_bytes as f64 / 1024.0 / prep.migrations as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:>5}   {:>14.6}   {:>14.6}   {:>4.1}   {:>12.6}   {:>13.1}   {:>8}",
+            ranks,
+            r_step,
+            p_step,
+            100.0 * (r_step - p_step) / r_step,
+            rrep.spawn_host_s,
+            mig_kib,
+            prep.migrated_particles,
+        );
+        assert_eq!(prep.world_spawns, 1, "persistent path spawns once");
+        assert_eq!(rrep.world_spawns, steps as u64 + 1);
+    }
+
+    println!("\nwin% = (respawn − persistent) / respawn, on the modeled per-step clock");
+    println!("spawn host s = total modeled host seconds the respawn path spent standing up worlds");
+}

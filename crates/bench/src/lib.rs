@@ -10,6 +10,7 @@
 //! | `fig6_strong`      | Fig. 6 — strong scaling + phase breakdown |
 //! | `ablation_streams` | §3.2 — async-stream ablation (~25% claim) |
 //! | `dynamics_steps`   | time-per-step scaling of the `bltc-sim` driver, 1→8 ranks |
+//! | `dynamics_persistent` | respawn-per-step vs persistent-session amortization, 1→8 ranks |
 //!
 //! Default problem sizes are scaled to a single-core container (the paper
 //! ran 1M–1B particles on Titan V / 32×P100); every binary takes `--n`

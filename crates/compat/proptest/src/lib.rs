@@ -79,6 +79,14 @@ impl Strategy for Range<usize> {
     }
 }
 
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut StdRng) -> u64 {
+        rng.gen_range(self.start as usize..self.end as usize) as u64
+    }
+}
+
 macro_rules! impl_tuple_strategy {
     ($($name:ident),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {

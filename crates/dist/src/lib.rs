@@ -71,8 +71,12 @@
 
 mod letree;
 pub mod model;
+pub mod persistent;
 
 pub use model::HostModel;
+pub use persistent::{
+    FieldSession, MigrationRankStats, MigrationReport, RankLocal, SessionFieldReport, Snapshot,
+};
 
 use bltc_core::charges::ClusterCharges;
 use bltc_core::config::BltcParams;
@@ -656,6 +660,98 @@ pub fn run_distributed_field_on<K: GradientKernel + ?Sized>(
     run_field_pipeline(ps, part, &locals, cfg, kernel)
 }
 
+/// The rank-level body of a distributed **field** evaluation: local
+/// tree/window/LET setup, simulated-GPU evaluation, remote LET
+/// contributions, and the modeled phase clocks — everything one rank
+/// does between entering and leaving the bulk-synchronous region.
+///
+/// This is the piece [`run_distributed_field_on`] executes under
+/// `run_spmd`, factored out so the *same* body can run as an epoch
+/// against live ranks in a persistent session
+/// ([`persistent::FieldSession`], or any
+/// [`mpi_sim::Session::run_epoch`] closure). Must be called from every
+/// rank of the SPMD context with the same `cfg` — it contains
+/// collectives (window creation and the closing barrier).
+///
+/// Returns the rank's report and its field values in **local particle
+/// order** (the order of `local`).
+pub fn eval_field_rank(
+    comm: &Comm,
+    local: &ParticleSet,
+    cfg: &DistConfig,
+    kernel: &dyn GradientKernel,
+) -> (RankReport, FieldResult) {
+    let params = cfg.params;
+
+    // ---- setup: local structures, windows, LETs ---------------------
+    let setup = setup_rank(comm, local, &params);
+
+    // ---- local evaluation on the simulated GPU ----------------------
+    let gpu = GpuEngine::with_spec(params, cfg.spec)
+        .with_streams(cfg.streams)
+        .compute_field_detailed(local, local, kernel);
+
+    // ---- remote (LET) contributions ---------------------------------
+    let mut field = gpu.field;
+    let mut remote_ops = OpCounts::default();
+    let mut device_bytes = 0.0;
+    if !setup.lets.is_empty() {
+        // Batch-order accumulators for the four outputs.
+        let n = local.len();
+        let (mut rp, mut rx, mut ry, mut rz) =
+            (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        for l in &setup.lets {
+            eval_remote_field_into(
+                l,
+                &setup.batches,
+                kernel,
+                &mut rp,
+                &mut rx,
+                &mut ry,
+                &mut rz,
+                &mut remote_ops,
+                &mut device_bytes,
+            );
+        }
+        let add = |dst: &mut [f64], src: Vec<f64>| {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        };
+        add(
+            &mut field.potentials,
+            setup.batches.scatter_to_original(&rp),
+        );
+        add(&mut field.gx, setup.batches.scatter_to_original(&rx));
+        add(&mut field.gy, setup.batches.scatter_to_original(&ry));
+        add(&mut field.gz, setup.batches.scatter_to_original(&rz));
+    }
+    let ops = gpu.ops.merged(&remote_ops);
+
+    // ---- modeled clocks (gradient flops on the remote pass) ---------
+    let clocks = model_rank_clocks(
+        cfg,
+        &gpu.sim,
+        local.len(),
+        gpu.tree_stats.max_level + 1,
+        &ops,
+        &setup.let_stats,
+        &setup.tally,
+        remote_ops.field_flops(kernel, true),
+        device_bytes,
+        remote_ops.kernel_launches,
+    );
+
+    // Epochs closed on every rank; windows (held by `setup`) must stay
+    // alive until every peer is done fetching.
+    comm.barrier();
+
+    (
+        make_rank_report(comm.rank(), local.len(), &setup, clocks, ops),
+        field,
+    )
+}
+
 /// Shared body of [`run_distributed_field`] /
 /// [`run_distributed_field_on`]: the SPMD run plus global assembly.
 fn run_field_pipeline<K: GradientKernel + ?Sized>(
@@ -667,78 +763,10 @@ fn run_field_pipeline<K: GradientKernel + ?Sized>(
 ) -> DistFieldReport {
     let ranks = part.num_parts();
     let kref = KernelRef(kernel);
-    let params = cfg.params;
 
     let out = run_spmd(ranks, |comm| {
-        let rank = comm.rank();
-        let local = &locals[rank];
-        let kernel: &dyn GradientKernel = &kref;
-
-        // ---- setup: local structures, windows, LETs -----------------
-        let setup = setup_rank(&comm, local, &params);
-
-        // ---- local evaluation on the simulated GPU ------------------
-        let gpu = GpuEngine::with_spec(params, cfg.spec)
-            .with_streams(cfg.streams)
-            .compute_field_detailed(local, local, kernel);
-
-        // ---- remote (LET) contributions -----------------------------
-        let mut field = gpu.field;
-        let mut remote_ops = OpCounts::default();
-        let mut device_bytes = 0.0;
-        if !setup.lets.is_empty() {
-            // Batch-order accumulators for the four outputs.
-            let n = local.len();
-            let (mut rp, mut rx, mut ry, mut rz) =
-                (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]);
-            for l in &setup.lets {
-                eval_remote_field_into(
-                    l,
-                    &setup.batches,
-                    kernel,
-                    &mut rp,
-                    &mut rx,
-                    &mut ry,
-                    &mut rz,
-                    &mut remote_ops,
-                    &mut device_bytes,
-                );
-            }
-            let add = |dst: &mut [f64], src: Vec<f64>| {
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d += s;
-                }
-            };
-            add(
-                &mut field.potentials,
-                setup.batches.scatter_to_original(&rp),
-            );
-            add(&mut field.gx, setup.batches.scatter_to_original(&rx));
-            add(&mut field.gy, setup.batches.scatter_to_original(&ry));
-            add(&mut field.gz, setup.batches.scatter_to_original(&rz));
-        }
-        let ops = gpu.ops.merged(&remote_ops);
-
-        // ---- modeled clocks (gradient flops on the remote pass) -----
-        let clocks = model_rank_clocks(
-            cfg,
-            &gpu.sim,
-            local.len(),
-            gpu.tree_stats.max_level + 1,
-            &ops,
-            &setup.let_stats,
-            &setup.tally,
-            remote_ops.field_flops(kernel, true),
-            device_bytes,
-            remote_ops.kernel_launches,
-        );
-
-        comm.barrier(); // epochs closed on every rank
-
-        (
-            make_rank_report(rank, local.len(), &setup, clocks, ops),
-            field,
-        )
+        let local = &locals[comm.rank()];
+        eval_field_rank(&comm, local, cfg, &kref)
     });
 
     // ---- assemble the global report ---------------------------------

@@ -27,6 +27,17 @@ pub struct HostModel {
     pub per_fetched_particle_s: f64,
     /// Fixed per-run overhead.
     pub base_s: f64,
+    /// Seconds to spawn one rank thread and initialize its communicator
+    /// state (the per-rank share of standing up an SPMD world — thread
+    /// creation, barrier/rendezvous setup, window infrastructure).
+    pub rank_spawn_s: f64,
+    /// Seconds per particle the *driver* pays to scatter the inputs and
+    /// gather the results of a one-shot world (`run_spmd`-style entry,
+    /// where all particle data passes through the driver every call).
+    pub per_particle_gather_s: f64,
+    /// Seconds to submit one epoch to the live ranks of a persistent
+    /// session (rendezvous hand-off; no particle data moves).
+    pub epoch_submit_s: f64,
 }
 
 impl Default for HostModel {
@@ -39,6 +50,9 @@ impl Default for HostModel {
             per_launch_s: 1.5e-7,
             per_fetched_particle_s: 2.5e-8,
             base_s: 2e-5,
+            rank_spawn_s: 5e-5,
+            per_particle_gather_s: 4e-9,
+            epoch_submit_s: 2e-6,
         }
     }
 }
@@ -75,6 +89,24 @@ impl HostModel {
     pub fn repartition_seconds(&self, n: usize, parts: usize) -> f64 {
         let levels = (parts.max(1) as f64).log2().ceil().max(1.0);
         self.base_s + self.per_particle_level_s * n as f64 * levels
+    }
+
+    /// Modeled host seconds to stand up one SPMD world over `n`
+    /// particles on `ranks` ranks: thread spawn + communicator setup
+    /// per rank, plus the driver-side scatter/gather of every particle
+    /// record that a one-shot (`run_spmd`-style) entry implies.
+    ///
+    /// The respawn-per-step integrator pays this on **every** force
+    /// evaluation; a persistent session pays it once at launch and then
+    /// [`HostModel::epoch_seconds`] per epoch — the amortization the
+    /// session subsystem exists to win.
+    pub fn world_spawn_seconds(&self, n: usize, ranks: usize) -> f64 {
+        self.base_s + self.rank_spawn_s * ranks as f64 + self.per_particle_gather_s * n as f64
+    }
+
+    /// Modeled host seconds to submit one epoch to live ranks.
+    pub fn epoch_seconds(&self) -> f64 {
+        self.epoch_submit_s
     }
 }
 
@@ -119,5 +151,19 @@ mod tests {
         assert!(m.repartition_seconds(10_000, 1) > m.base_s);
         // Deterministic, like every clock in the workspace.
         assert_eq!(base, m.repartition_seconds(10_000, 4));
+    }
+
+    #[test]
+    fn world_spawn_dwarfs_epoch_submission() {
+        // The whole point of persistent sessions: respawning a world
+        // every step costs orders of magnitude more host time than
+        // submitting an epoch to live ranks.
+        let m = HostModel::default();
+        let spawn = m.world_spawn_seconds(10_000, 4);
+        assert!(spawn > 100.0 * m.epoch_seconds(), "{spawn} vs epoch");
+        // Monotone in ranks and particles.
+        assert!(m.world_spawn_seconds(10_000, 8) > spawn);
+        assert!(m.world_spawn_seconds(20_000, 4) > spawn);
+        assert!(m.epoch_seconds() > 0.0);
     }
 }

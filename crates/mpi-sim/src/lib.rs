@@ -21,6 +21,42 @@
 //! between rank heaps), so races and epoch misuse are real bugs here just
 //! as they are under MPI.
 //!
+//! ## One-shot worlds vs. persistent sessions
+//!
+//! Two execution modes share the runtime:
+//!
+//! - [`run_spmd`] spawns the rank threads, runs **one** closure, and
+//!   tears the world down — `MPI_Init → work → MPI_Finalize` per call.
+//! - [`session::Session`] spawns the rank threads **once** and then
+//!   executes a sequence of *epochs* (closures submitted over a
+//!   rendezvous channel) against the live ranks — the analogue of a
+//!   long-lived MPI job with persistent communicators, which is what a
+//!   time-stepping driver needs to avoid paying thread spawn and world
+//!   construction on every step.
+//!
+//! The session lifecycle in MPI terms: `Session::spawn` ≈ `MPI_Init` +
+//! `MPI_Comm_dup` (once); each epoch is a bulk-synchronous region over
+//! that communicator in which windows are exposed and freed
+//! (`MPI_Win_create`/`MPI_Win_free` per epoch) while rank-local memory
+//! and the per-rank collective sequence counters persist; dropping the
+//! session ≈ `MPI_Finalize`. Collective-sequence checking therefore
+//! extends across epochs, and each epoch's one-sided traffic is drained
+//! into its own [`session::EpochReport`] so drivers can attribute bytes
+//! to phases. See the [`session`] module docs for the full rules.
+//!
+//! A rank that panics between collectives — mid-epoch or mid-`run_spmd`
+//! — **poisons** the world: surviving ranks fail fast at their next
+//! collective with a clear error naming the culprit, instead of
+//! deadlocking the way real MPI ranks would.
+//!
+//! Collectives come in two flavors: control-plane calls ([`Comm::all_gather`],
+//! [`Comm::barrier`], window creation) record no traffic, while the
+//! data-plane collectives [`Comm::all_gather_varcount`] and
+//! [`Comm::exchange`] (`MPI_Allgatherv` / `MPI_Alltoallv`) record
+//! per-pair (messages, bytes) exactly like one-sided operations — they
+//! carry the repartition coordinate gather and the particle-migration
+//! payloads of the distributed dynamics layer.
+//!
 //! ## Example
 //!
 //! ```
@@ -46,8 +82,10 @@ pub mod comm;
 pub mod netmodel;
 pub mod rma;
 pub mod runtime;
+pub mod session;
 
 pub use comm::Comm;
 pub use netmodel::NetworkSpec;
 pub use rma::{Window, WindowReadGuard, WindowWriteGuard};
 pub use runtime::{run_spmd, SpmdResult, TrafficMatrix};
+pub use session::{EpochReport, Session};

@@ -1,9 +1,23 @@
 //! The SPMD runtime: rank threads, the shared world, rendezvous-based
 //! collectives, and traffic accounting.
+//!
+//! Two entry points share the same (crate-private) world state:
+//!
+//! - [`run_spmd`] — spawn `n_ranks` threads, run one closure to
+//!   completion, tear the world down (the original per-call mode);
+//! - [`crate::session::Session`] — spawn the threads **once** and feed
+//!   them a sequence of epochs, the persistent-rank mode a
+//!   time-stepping driver needs.
+//!
+//! Both are protected by the same panic discipline: every collective
+//! waits on a *poisonable* barrier, so a rank that panics between
+//! collectives poisons the world and surviving ranks fail fast with a
+//! clear error instead of deadlocking (the documented hazard of real
+//! MPI, where a dead rank hangs its peers forever).
 
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Condvar};
 
 use parking_lot::Mutex;
 
@@ -108,10 +122,92 @@ impl TrafficMatrix {
 /// Per-rank deposit slots of one in-flight collective.
 pub(crate) type RendezvousSlots = Vec<Option<Box<dyn Any + Send>>>;
 
-/// Shared world state (one per `run_spmd` invocation).
+/// Interior state of the poisonable barrier.
+struct BarrierState {
+    /// Ranks currently parked in the active round.
+    waiting: usize,
+    /// Round counter; a parked rank leaves when it changes.
+    generation: u64,
+    /// Set once, by the first rank whose epoch closure panicked.
+    poisoned_by: Option<usize>,
+}
+
+/// A cyclic barrier whose waiters can be *poisoned*: when a rank panics
+/// between collectives, [`PoisonBarrier::poison`] wakes every parked
+/// rank and makes this and every future [`PoisonBarrier::wait`] panic
+/// with a clear error — the fail-fast substitute for the deadlock a
+/// dead rank causes under real MPI.
+pub(crate) struct PoisonBarrier {
+    size: usize,
+    state: Mutex<BarrierState>,
+    cvar: Condvar,
+}
+
+impl PoisonBarrier {
+    fn new(size: usize) -> Self {
+        Self {
+            size,
+            state: Mutex::new(BarrierState {
+                waiting: 0,
+                generation: 0,
+                poisoned_by: None,
+            }),
+            cvar: Condvar::new(),
+        }
+    }
+
+    fn panic_poisoned(rank: usize) -> ! {
+        panic!("SPMD world poisoned: rank {rank} panicked between collectives; surviving ranks abort instead of deadlocking");
+    }
+
+    /// Park until all `size` ranks arrive (or the world is poisoned).
+    pub(crate) fn wait(&self) {
+        // The compat `parking_lot::MutexGuard` is the std guard, so the
+        // std Condvar can park on it directly.
+        let mut st = self.state.lock();
+        if let Some(rank) = st.poisoned_by {
+            Self::panic_poisoned(rank);
+        }
+        st.waiting += 1;
+        if st.waiting == self.size {
+            st.waiting = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cvar.notify_all();
+            return;
+        }
+        let gen = st.generation;
+        while st.generation == gen {
+            st = self
+                .cvar
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(rank) = st.poisoned_by {
+                Self::panic_poisoned(rank);
+            }
+        }
+    }
+
+    /// Record that `rank` panicked and wake every parked rank. The
+    /// first poisoner wins; later calls keep the original culprit.
+    pub(crate) fn poison(&self, rank: usize) {
+        let mut st = self.state.lock();
+        if st.poisoned_by.is_none() {
+            st.poisoned_by = Some(rank);
+        }
+        self.cvar.notify_all();
+    }
+
+    /// The rank recorded by the first [`PoisonBarrier::poison`] call.
+    pub(crate) fn poisoned_by(&self) -> Option<usize> {
+        self.state.lock().poisoned_by
+    }
+}
+
+/// Shared world state (one per `run_spmd` invocation, or one per
+/// [`crate::session::Session`] lifetime).
 pub(crate) struct World {
     pub(crate) size: usize,
-    pub(crate) barrier: Barrier,
+    pub(crate) barrier: PoisonBarrier,
     /// Rendezvous slots for collectives, keyed by per-rank call sequence.
     pub(crate) rendezvous: Mutex<HashMap<u64, RendezvousSlots>>,
     pub(crate) traffic: Mutex<TrafficMatrix>,
@@ -121,7 +217,7 @@ impl World {
     pub(crate) fn new(size: usize) -> Self {
         Self {
             size,
-            barrier: Barrier::new(size),
+            barrier: PoisonBarrier::new(size),
             rendezvous: Mutex::new(HashMap::new()),
             traffic: Mutex::new(TrafficMatrix::new(size)),
         }
@@ -132,6 +228,12 @@ impl World {
         let e = &mut t.entries[origin][target];
         e.messages += 1;
         e.bytes += bytes;
+    }
+
+    /// Take the traffic recorded since the last drain, leaving zeros —
+    /// how a [`crate::session::Session`] attributes traffic to epochs.
+    pub(crate) fn drain_traffic(&self) -> TrafficMatrix {
+        std::mem::replace(&mut *self.traffic.lock(), TrafficMatrix::new(self.size))
     }
 }
 
@@ -153,9 +255,12 @@ pub struct SpmdResult<R> {
 ///
 /// # Panics
 ///
-/// Panics if `n_ranks == 0`, or propagates the first rank panic after the
-/// run (note: a rank panicking between collectives can deadlock peers, as
-/// in real MPI).
+/// Panics if `n_ranks == 0`, or propagates the first rank panic after
+/// the run. A rank panicking between collectives does **not** deadlock
+/// its peers (the hazard real MPI has): the panicking rank poisons the
+/// world, every surviving rank fails fast at its next collective with a
+/// "world poisoned" error, and the driver re-raises the *original*
+/// panic payload.
 pub fn run_spmd<R, F>(n_ranks: usize, f: F) -> SpmdResult<R>
 where
     R: Send,
@@ -163,19 +268,43 @@ where
 {
     assert!(n_ranks > 0, "need at least one rank");
     let world = Arc::new(World::new(n_ranks));
-    let results: Vec<R> = std::thread::scope(|scope| {
+    let outcomes: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_ranks)
             .map(|rank| {
                 let world = Arc::clone(&world);
                 let f = &f;
-                scope.spawn(move || f(crate::Comm::new(rank, world)))
+                scope.spawn(move || {
+                    let comm = crate::Comm::new(rank, Arc::clone(&world));
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+                    if out.is_err() {
+                        world.barrier.poison(rank);
+                    }
+                    out
+                })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
+            .map(|h| h.join().expect("rank thread died outside catch_unwind"))
             .collect()
     });
+    // Re-raise the poisoner's original panic (peers' "world poisoned"
+    // panics are secondary noise).
+    if outcomes.iter().any(|o| o.is_err()) {
+        let culprit = world
+            .barrier
+            .poisoned_by()
+            .expect("panic recorded a poisoner");
+        let payload = match outcomes.into_iter().nth(culprit) {
+            Some(Err(payload)) => payload,
+            _ => unreachable!("culprit rank recorded an Err outcome"),
+        };
+        std::panic::resume_unwind(payload);
+    }
+    let results: Vec<R> = outcomes
+        .into_iter()
+        .map(|o| o.expect("checked above"))
+        .collect();
     let traffic = world.traffic.lock().clone();
     SpmdResult { results, traffic }
 }
@@ -275,5 +404,72 @@ mod tests {
         let data = [1.0f64, 2.0, 3.0];
         let out = run_spmd(3, |comm| data[comm.rank()]);
         assert_eq!(out.results, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn panicking_rank_does_not_deadlock_peers() {
+        // Rank 1 panics between collectives while every other rank sits
+        // in a barrier — the documented MPI deadlock. The poisoned
+        // world must instead complete promptly, re-raising rank 1's
+        // original panic.
+        let out = std::panic::catch_unwind(|| {
+            run_spmd(4, |comm| {
+                if comm.rank() == 1 {
+                    panic!("rank 1 exploded");
+                }
+                comm.barrier(); // would hang forever without poisoning
+                comm.rank()
+            })
+        });
+        let payload = out.expect_err("the rank panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert_eq!(msg, "rank 1 exploded", "original payload, not peer noise");
+    }
+
+    #[test]
+    fn panic_inside_collective_poisons_peers() {
+        // The panic fires while peers are parked inside an all-gather's
+        // rendezvous barrier rather than a bare barrier.
+        let out = std::panic::catch_unwind(|| {
+            run_spmd(3, |comm| {
+                if comm.rank() == 2 {
+                    panic!("boom in the middle");
+                }
+                comm.all_gather(comm.rank())
+            })
+        });
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn poisoned_barrier_reports_the_first_culprit() {
+        let b = PoisonBarrier::new(2);
+        b.poison(7);
+        b.poison(3); // later poisoners don't overwrite
+        assert_eq!(b.poisoned_by(), Some(7));
+        let w = std::panic::catch_unwind(|| b.wait());
+        let payload = w.expect_err("poisoned wait must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("rank 7"), "culprit named: {msg}");
+    }
+
+    #[test]
+    fn drain_traffic_separates_phases() {
+        let world = World::new(2);
+        world.record_traffic(0, 1, 100);
+        let first = world.drain_traffic();
+        assert_eq!(first.total_remote_bytes(), 100);
+        world.record_traffic(1, 0, 7);
+        let second = world.drain_traffic();
+        assert_eq!(second.total_remote_bytes(), 7);
+        assert_eq!(second.get(0, 1).bytes, 0, "drained entries reset");
     }
 }

@@ -1,0 +1,399 @@
+//! Persistent rank sessions: spawn the SPMD world **once**, then run a
+//! sequence of *epochs* against the live ranks.
+//!
+//! [`crate::run_spmd`] models `MPI_Init → work → MPI_Finalize` per
+//! call: every invocation pays thread spawn, world construction, and a
+//! driver-side gather of the results. A [`Session`] instead models a
+//! long-lived MPI job (persistent communicators): `n_ranks` threads are
+//! spawned at [`Session::spawn`] and stay parked on a rendezvous
+//! channel; each [`Session::run_epoch`] submits one closure that every
+//! rank executes SPMD-style, exactly as a `run_spmd` body would.
+//!
+//! ## Epoch lifecycle
+//!
+//! - **Collective across epochs:** every rank executes the same epoch
+//!   sequence (the driver submits each epoch to all ranks — there is no
+//!   way to run an epoch on a subset), and within an epoch the usual
+//!   SPMD discipline applies: collectives must be called in the same
+//!   order on every rank.
+//! - **What persists:** the world (barrier, rendezvous table, traffic
+//!   matrix) and each rank's [`Comm`] — including its collective
+//!   sequence counter, so sequence checking extends *across* epochs: a
+//!   rank that skipped a collective in epoch `k` trips the mismatch
+//!   assertion in epoch `k+1` rather than silently pairing with the
+//!   wrong call. Rank-local state survives between epochs only if the
+//!   caller keeps it outside the closure (e.g. behind an
+//!   `Arc<Vec<Mutex<…>>>` indexed by rank) — mirroring MPI, where
+//!   surviving state is whatever the rank process keeps in memory.
+//! - **Per-epoch exposure:** RMA windows created inside an epoch are
+//!   torn down when the closure returns (guards drop), so each epoch
+//!   re-exposes the windows it needs — `MPI_Win_create`/`free` per
+//!   epoch over a persistent communicator.
+//! - **Traffic:** the world's [`TrafficMatrix`] is drained per epoch;
+//!   each [`EpochReport`] carries exactly the one-sided traffic its
+//!   epoch generated, so drivers can attribute bytes to phases
+//!   (evaluation vs. migration) without bookkeeping inside the closures.
+//! - **Panics:** a rank panicking mid-epoch poisons the world
+//!   (see [`crate::runtime::run_spmd`]); surviving ranks fail fast, the
+//!   original payload is re-raised from `run_epoch`, and the rank
+//!   threads survive to reject later epochs with the same clear error.
+//!
+//! ## Example
+//!
+//! ```
+//! use mpi_sim::session::Session;
+//!
+//! let mut session = Session::spawn(3);
+//! // Epoch 1: windows + one-sided reads, like any run_spmd body.
+//! let e1 = session.run_epoch(|comm| {
+//!     let win = comm.create_window(vec![comm.rank() as f64]);
+//!     let v = win.lock_shared((comm.rank() + 1) % comm.size()).get(0..1)[0];
+//!     comm.barrier();
+//!     v
+//! });
+//! assert_eq!(e1.results, vec![1.0, 2.0, 0.0]);
+//! // Epoch 2 reuses the same live ranks; traffic is per-epoch.
+//! let e2 = session.run_epoch(|comm| comm.all_reduce_sum(1.0));
+//! assert_eq!(e2.results, vec![3.0; 3]);
+//! assert_eq!(e2.traffic.total_remote_bytes(), 0);
+//! assert_eq!(session.epochs_run(), 2);
+//! ```
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::comm::Comm;
+use crate::runtime::{TrafficMatrix, World};
+
+/// One submitted epoch: the closure every rank runs.
+type EpochFn = Arc<dyn Fn(&Comm) -> Box<dyn Any + Send> + Send + Sync>;
+
+/// What one rank sent back: its rank id and the epoch outcome.
+type RankOutcome = (usize, std::thread::Result<Box<dyn Any + Send>>);
+
+/// Result of one epoch: per-rank return values plus the one-sided
+/// traffic recorded *during this epoch only* (the world's matrix is
+/// drained at every epoch boundary).
+#[derive(Debug)]
+pub struct EpochReport<R> {
+    /// Return value of each rank, indexed by rank.
+    pub results: Vec<R>,
+    /// One-sided traffic this epoch recorded, per (origin, target).
+    pub traffic: TrafficMatrix,
+    /// Zero-based index of this epoch in the session.
+    pub epoch: u64,
+}
+
+/// A persistent SPMD world: rank threads spawned once, executing the
+/// sequence of epochs the driver submits. See the module docs for the
+/// lifecycle rules.
+pub struct Session {
+    world: Arc<World>,
+    submit: Vec<Sender<EpochFn>>,
+    collect: Receiver<RankOutcome>,
+    handles: Vec<JoinHandle<()>>,
+    epochs: u64,
+}
+
+impl Session {
+    /// Spawn `n_ranks` rank threads — the session's single
+    /// thread-spawn phase. The threads stay alive (parked between
+    /// epochs) until the session is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_ranks == 0`.
+    pub fn spawn(n_ranks: usize) -> Self {
+        assert!(n_ranks > 0, "need at least one rank");
+        let world = Arc::new(World::new(n_ranks));
+        let (result_tx, collect) = channel::<RankOutcome>();
+        let mut submit = Vec::with_capacity(n_ranks);
+        let mut handles = Vec::with_capacity(n_ranks);
+        for rank in 0..n_ranks {
+            let (tx, rx) = channel::<EpochFn>();
+            submit.push(tx);
+            let world = Arc::clone(&world);
+            let result_tx = result_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("spmd-rank-{rank}"))
+                .spawn(move || {
+                    // The Comm — and with it the collective sequence
+                    // counter — lives for the whole session.
+                    let comm = Comm::new(rank, Arc::clone(&world));
+                    while let Ok(job) = rx.recv() {
+                        let out = catch_unwind(AssertUnwindSafe(|| job(&comm)));
+                        if out.is_err() {
+                            world.barrier.poison(rank);
+                        }
+                        if result_tx.send((rank, out)).is_err() {
+                            break; // driver gone; shut down
+                        }
+                    }
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(handle);
+        }
+        Self {
+            world,
+            submit,
+            collect,
+            handles,
+            epochs: 0,
+        }
+    }
+
+    /// Number of ranks in the session.
+    pub fn size(&self) -> usize {
+        self.world.size
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Submit one epoch: every rank runs `f` SPMD-style; blocks until
+    /// all ranks return. The report carries the traffic recorded during
+    /// this epoch only.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the original payload if any rank panicked (the world
+    /// is then poisoned: later epochs fail fast on their first
+    /// collective).
+    pub fn run_epoch<R, F>(&mut self, f: F) -> EpochReport<R>
+    where
+        R: Send + 'static,
+        F: Fn(&Comm) -> R + Send + Sync + 'static,
+    {
+        let job: EpochFn = Arc::new(move |comm| Box::new(f(comm)) as Box<dyn Any + Send>);
+        for tx in &self.submit {
+            tx.send(Arc::clone(&job))
+                .expect("rank thread exited while session alive");
+        }
+        let mut slots: Vec<Option<std::thread::Result<Box<dyn Any + Send>>>> =
+            (0..self.size()).map(|_| None).collect();
+        for _ in 0..self.size() {
+            let (rank, out) = self
+                .collect
+                .recv()
+                .expect("rank thread exited while session alive");
+            slots[rank] = Some(out);
+        }
+        let epoch = self.epochs;
+        self.epochs += 1;
+        let traffic = self.world.drain_traffic();
+
+        // Re-raise the first poisoner's payload, as run_spmd does. In a
+        // *later* epoch of an already-poisoned session the original
+        // culprit's closure may well return Ok (e.g. it branches by
+        // rank and never reaches a collective), so fall back to the
+        // first Err of this epoch when the culprit's slot is clean.
+        if slots.iter().any(|s| matches!(s, Some(Err(_)))) {
+            let mut slots = slots;
+            let idx = self
+                .world
+                .barrier
+                .poisoned_by()
+                .filter(|&c| matches!(slots[c], Some(Err(_))))
+                .unwrap_or_else(|| {
+                    slots
+                        .iter()
+                        .position(|s| matches!(s, Some(Err(_))))
+                        .expect("checked above")
+                });
+            let payload = match slots[idx].take() {
+                Some(Err(payload)) => payload,
+                _ => unreachable!("index selected an Err outcome"),
+            };
+            resume_unwind(payload);
+        }
+
+        let results = slots
+            .into_iter()
+            .map(|s| {
+                *s.expect("every rank reported")
+                    .expect("checked above")
+                    .downcast::<R>()
+                    .expect("epoch closure return type is fixed per call")
+            })
+            .collect();
+        EpochReport {
+            results,
+            traffic,
+            epoch,
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Closing the submit channels ends each rank's epoch loop.
+        self.submit.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn ranks_persist_across_epochs() {
+        let mut s = Session::spawn(4);
+        // Rank-local state survives between epochs via caller storage.
+        let resident: Arc<Vec<Mutex<f64>>> =
+            Arc::new((0..4).map(|r| Mutex::new(r as f64)).collect());
+        let slots = Arc::clone(&resident);
+        s.run_epoch(move |comm| {
+            *slots[comm.rank()].lock() += 10.0;
+        });
+        let slots = Arc::clone(&resident);
+        let rep = s.run_epoch(move |comm| *slots[comm.rank()].lock());
+        assert_eq!(rep.results, vec![10.0, 11.0, 12.0, 13.0]);
+        assert_eq!(s.epochs_run(), 2);
+    }
+
+    #[test]
+    fn collectives_and_windows_work_inside_epochs() {
+        let mut s = Session::spawn(3);
+        let rep = s.run_epoch(|comm| {
+            let win = comm.create_window(vec![comm.rank() as u32 * 2; 4]);
+            let nbr = (comm.rank() + 1) % comm.size();
+            let v = win.lock_shared(nbr).get(0..4);
+            comm.barrier();
+            (v[0], comm.all_reduce_sum(1.0))
+        });
+        assert_eq!(rep.results, vec![(2, 3.0), (4, 3.0), (0, 3.0)]);
+    }
+
+    #[test]
+    fn traffic_is_drained_per_epoch() {
+        let mut s = Session::spawn(2);
+        let e1 = s.run_epoch(|comm| {
+            let win = comm.create_window(vec![0.0f64; 8]);
+            if comm.rank() == 0 {
+                let _ = win.lock_shared(1).get(0..8); // 64 bytes
+            }
+            comm.barrier();
+        });
+        assert_eq!(e1.traffic.total_remote_bytes(), 64);
+        let e2 = s.run_epoch(|comm| {
+            comm.barrier();
+        });
+        assert_eq!(e2.traffic.total_remote_bytes(), 0, "epoch 2 moved nothing");
+        assert_eq!((e1.epoch, e2.epoch), (0, 1));
+    }
+
+    #[test]
+    fn sequence_counters_extend_across_epochs() {
+        // Per-rank collective sequence counters persist across epochs,
+        // so a later epoch's collectives can never pair with leftover
+        // rendezvous entries from an earlier one: ten epochs of
+        // all-gathers must each see exactly their own values.
+        let mut s = Session::spawn(3);
+        for round in 0u64..10 {
+            let rep = s.run_epoch(move |comm| comm.all_gather(round * 100 + comm.rank() as u64));
+            for gathered in rep.results {
+                assert_eq!(
+                    gathered,
+                    vec![round * 100, round * 100 + 1, round * 100 + 2],
+                    "epoch {round} saw stale deposits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn desynchronized_collectives_fail_fast() {
+        // Rank 0 runs two all-gathers; rank 1 runs one all-gather plus
+        // two bare barriers (so barrier arrivals stay aligned — the
+        // shape of a real SPMD divergence bug). Rank 0's second gather
+        // then reads a rendezvous slot rank 1 never filled: the runtime
+        // must panic and poison, not hang or mispair.
+        let mut s = Session::spawn(2);
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            s.run_epoch(|comm| {
+                if comm.rank() == 0 {
+                    let _ = comm.all_gather(1u8);
+                    let _ = comm.all_gather(2u8);
+                } else {
+                    let _ = comm.all_gather(1u8);
+                    comm.barrier();
+                    comm.barrier();
+                }
+            })
+        }));
+        assert!(out.is_err(), "divergent collective sequences must fail");
+    }
+
+    #[test]
+    fn epoch_panic_poisons_but_session_fails_fast_later() {
+        let mut s = Session::spawn(3);
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            s.run_epoch(|comm| {
+                if comm.rank() == 1 {
+                    panic!("epoch bug");
+                }
+                comm.barrier();
+            })
+        }));
+        assert!(out.is_err(), "epoch panic propagates to the driver");
+        // The world stays poisoned: the next epoch's first collective
+        // fails fast on every rank instead of hanging.
+        let out = catch_unwind(AssertUnwindSafe(|| s.run_epoch(|comm| comm.barrier())));
+        assert!(out.is_err(), "poisoned session rejects further epochs");
+    }
+
+    #[test]
+    fn post_poison_epoch_reports_even_when_culprit_succeeds() {
+        // Regression: in a poisoned session, a later epoch where the
+        // original culprit's closure happens to return Ok (it skips
+        // every collective) must still surface a poison error from the
+        // surviving ranks — not an internal `unreachable!`.
+        let mut s = Session::spawn(3);
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            s.run_epoch(|comm| {
+                if comm.rank() == 1 {
+                    panic!("first failure");
+                }
+                comm.barrier();
+            })
+        }));
+        assert!(out.is_err());
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            s.run_epoch(|comm| {
+                if comm.rank() == 1 {
+                    return; // culprit avoids all collectives: Ok
+                }
+                comm.barrier(); // peers fail fast on the poison
+            })
+        }));
+        let payload = out.expect_err("poison must still propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("poisoned"), "clear poison error, got: {msg}");
+    }
+
+    #[test]
+    fn single_rank_session() {
+        let mut s = Session::spawn(1);
+        let rep = s.run_epoch(|comm| comm.all_reduce_max(4.5));
+        assert_eq!(rep.results, vec![4.5]);
+        assert_eq!(s.size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_rank_session_rejected() {
+        let _ = Session::spawn(0);
+    }
+}

@@ -1,6 +1,8 @@
 //! The force law: a gradient-capable kernel plus the sign convention
 //! tying the treecode's field `(φ, ∇φ)` to forces and potential energy.
 
+use std::sync::Arc;
+
 use bltc_core::field::FieldResult;
 use bltc_core::kernel::GradientKernel;
 
@@ -21,7 +23,7 @@ use bltc_core::kernel::GradientKernel;
 /// `U = -sign · ½ Σ_i q_i φ_i`, which is why the integrator can check
 /// energy conservation without any scenario-specific code.
 pub struct ForceModel {
-    kernel: Box<dyn GradientKernel>,
+    kernel: Arc<dyn GradientKernel>,
     /// `+1` for attractive (gravitational), `-1` for electrostatic.
     pub sign: f64,
     /// Short scenario label for reports.
@@ -32,7 +34,7 @@ impl ForceModel {
     /// An attractive (gravitational) force law: `F_i = +q_i ∇φ_i`.
     pub fn gravitational(kernel: impl GradientKernel + 'static, name: &'static str) -> Self {
         Self {
-            kernel: Box::new(kernel),
+            kernel: Arc::new(kernel),
             sign: 1.0,
             name,
         }
@@ -41,7 +43,7 @@ impl ForceModel {
     /// An electrostatic force law: `F_i = -q_i ∇φ_i`.
     pub fn electrostatic(kernel: impl GradientKernel + 'static, name: &'static str) -> Self {
         Self {
-            kernel: Box::new(kernel),
+            kernel: Arc::new(kernel),
             sign: -1.0,
             name,
         }
@@ -50,6 +52,12 @@ impl ForceModel {
     /// The kernel evaluated by the distributed pipeline.
     pub fn kernel(&self) -> &dyn GradientKernel {
         self.kernel.as_ref()
+    }
+
+    /// A shared handle to the kernel, as persistent-session epochs need
+    /// (`'static` closures executing on live rank threads).
+    pub fn kernel_shared(&self) -> Arc<dyn GradientKernel> {
+        Arc::clone(&self.kernel)
     }
 
     /// Total pair potential energy

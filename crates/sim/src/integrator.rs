@@ -44,7 +44,7 @@ impl SimConfig {
         self
     }
 
-    fn validate(&self, n: usize) {
+    pub(crate) fn validate(&self, n: usize) {
         assert!(self.ranks >= 1, "need at least one rank");
         assert!(
             self.ranks <= n,
@@ -82,14 +82,36 @@ pub struct StepReport {
     pub repartitioned: bool,
     /// Modeled host seconds of the repartition (zero when not taken).
     pub repartition_host_s: f64,
+    /// Modeled host seconds spent standing up the SPMD world for this
+    /// step's evaluation. The respawn-per-step driver pays
+    /// [`bltc_dist::HostModel::world_spawn_seconds`] here on **every**
+    /// step; a persistent session pays zero (its single spawn was
+    /// charged at launch).
+    pub spawn_host_s: f64,
+    /// Modeled host seconds submitting epochs to live ranks (persistent
+    /// sessions only; zero on the respawn path).
+    pub epoch_host_s: f64,
+    /// Particles whose ownership moved rank-to-rank this step
+    /// (persistent sessions; the respawn path redistributes everything
+    /// through the driver instead, which never counts here).
+    pub migrated_particles: u64,
+    /// Bytes of migrated records plus the rank-to-rank repartition
+    /// coordinate gather (a separate traffic phase from LET bytes).
+    pub migration_bytes: u64,
+    /// Modeled bytes a *full* repartition exchange would have moved
+    /// this step (zero when no repartition was taken) — the baseline
+    /// migration must beat.
+    pub full_exchange_bytes: u64,
+    /// Modeled α–β seconds of the migration exchange.
+    pub migration_comm_s: f64,
     /// Bulk-synchronous setup seconds of this step's field evaluation.
     pub setup_s: f64,
     /// Bulk-synchronous precompute seconds.
     pub precompute_s: f64,
     /// Bulk-synchronous compute seconds.
     pub compute_s: f64,
-    /// Modeled step seconds: field-evaluation total plus the
-    /// repartition host cost.
+    /// Modeled step seconds: field-evaluation total plus the host
+    /// (spawn/epoch/repartition) and migration costs of the step.
     pub total_s: f64,
     /// One-sided messages this step, summed from per-rank tallies.
     pub rank_msgs: u64,
@@ -129,6 +151,26 @@ pub struct SimReport {
     pub force_evals: u64,
     /// RCB repartitions performed (including the initial one).
     pub repartitions: u64,
+    /// SPMD worlds stood up over the run: one per force evaluation on
+    /// the respawn path, exactly **one** (the launch) for a persistent
+    /// session.
+    pub world_spawns: u64,
+    /// Summed modeled host seconds of those world spawns.
+    pub spawn_host_s: f64,
+    /// Summed modeled host seconds submitting epochs (persistent only).
+    pub epoch_host_s: f64,
+    /// Migration epochs performed (persistent only).
+    pub migrations: u64,
+    /// Total particles migrated rank-to-rank.
+    pub migrated_particles: u64,
+    /// Total migration-phase bytes (coordinate gathers + delta
+    /// records), tallied separately from LET traffic.
+    pub migration_bytes: u64,
+    /// Summed modeled α–β seconds of migration exchanges.
+    pub migration_comm_s: f64,
+    /// Cumulative per-pair migration-phase traffic — the repartition
+    /// data path, kept as its own phase next to the LET `traffic`.
+    pub migration_traffic: TrafficMatrix,
     /// Summed modeled host seconds spent repartitioning.
     pub repartition_host_s: f64,
     /// Summed bulk-synchronous setup seconds.
@@ -154,6 +196,43 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// The starting record of a run: zeroed counters, `ranks`-sized
+    /// traffic matrices, the initial decomposition's host cost, and the
+    /// spawn accounting of the chosen stepping path (one world per
+    /// evaluation for the respawn integrator, a single up-front spawn
+    /// for a persistent session).
+    pub(crate) fn starting(
+        ranks: usize,
+        repartition_host_s: f64,
+        world_spawns: u64,
+        spawn_host_s: f64,
+    ) -> Self {
+        Self {
+            steps: 0,
+            force_evals: 0,
+            repartitions: 1,
+            world_spawns,
+            spawn_host_s,
+            epoch_host_s: 0.0,
+            migrations: 0,
+            migrated_particles: 0,
+            migration_bytes: 0,
+            migration_comm_s: 0.0,
+            migration_traffic: TrafficMatrix::zeros(ranks),
+            repartition_host_s,
+            setup_s: 0.0,
+            precompute_s: 0.0,
+            compute_s: 0.0,
+            total_s: repartition_host_s + spawn_host_s,
+            rma_messages: 0,
+            rma_bytes: 0,
+            traffic: TrafficMatrix::zeros(ranks),
+            initial_energy: 0.0,
+            final_energy: 0.0,
+            max_abs_energy_drift: 0.0,
+        }
+    }
+
     /// Largest relative energy drift `max_t |E(t) − E(0)| / |E(0)|`
     /// over the run — the symplectic-integrator health number the
     /// acceptance tests bound.
@@ -204,22 +283,7 @@ impl Integrator {
             ay: vec![0.0; n],
             az: vec![0.0; n],
             potentials: vec![0.0; n],
-            report: SimReport {
-                steps: 0,
-                force_evals: 0,
-                repartitions: 1,
-                repartition_host_s,
-                setup_s: 0.0,
-                precompute_s: 0.0,
-                compute_s: 0.0,
-                total_s: repartition_host_s,
-                rma_messages: 0,
-                rma_bytes: 0,
-                traffic: TrafficMatrix::zeros(cfg.ranks),
-                initial_energy: 0.0,
-                final_energy: 0.0,
-                max_abs_energy_drift: 0.0,
-            },
+            report: SimReport::starting(cfg.ranks, repartition_host_s, 0, 0.0),
         };
         this.eval_forces(state, model);
         let e0 =
@@ -274,11 +338,22 @@ impl Integrator {
         assert_eq!(rank_msgs, rep.traffic.total_remote_messages());
         assert_eq!(rank_bytes, rep.traffic.total_remote_bytes());
 
+        // Each respawn-path evaluation stands up (and tears down) a
+        // whole SPMD world — the host tax a persistent session
+        // amortizes away.
+        let spawn_s = self
+            .cfg
+            .dist
+            .host
+            .world_spawn_seconds(state.len(), self.cfg.ranks);
+        self.report.world_spawns += 1;
+        self.report.spawn_host_s += spawn_s;
+
         self.report.force_evals += 1;
         self.report.setup_s += rep.setup_s;
         self.report.precompute_s += rep.precompute_s;
         self.report.compute_s += rep.compute_s;
-        self.report.total_s += rep.total_s;
+        self.report.total_s += rep.total_s + spawn_s;
         self.report.rma_messages += rank_msgs;
         self.report.rma_bytes += rank_bytes;
         self.report.traffic.accumulate(&rep.traffic);
@@ -341,15 +416,26 @@ impl Integrator {
         self.report.max_abs_energy_drift = self.report.max_abs_energy_drift.max(drift);
 
         let (rank_msgs, rank_bytes) = rank_tallies(&rep);
+        let spawn_host_s = self
+            .cfg
+            .dist
+            .host
+            .world_spawn_seconds(state.len(), self.cfg.ranks);
         StepReport {
             step: state.step,
             time: state.time,
             repartitioned,
             repartition_host_s,
+            spawn_host_s,
+            epoch_host_s: 0.0,
+            migrated_particles: 0,
+            migration_bytes: 0,
+            full_exchange_bytes: 0,
+            migration_comm_s: 0.0,
             setup_s: rep.setup_s,
             precompute_s: rep.precompute_s,
             compute_s: rep.compute_s,
-            total_s: rep.total_s + repartition_host_s,
+            total_s: rep.total_s + repartition_host_s + spawn_host_s,
             rank_msgs,
             rank_bytes,
             matrix_msgs: rep.traffic.total_remote_messages(),

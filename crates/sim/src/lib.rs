@@ -30,6 +30,29 @@
 //! [`SimReport`] accumulates per-phase clocks and per-pair traffic
 //! across the whole run.
 //!
+//! ## Respawn vs persistent stepping
+//!
+//! Two integrators share `SimConfig`, `StepReport`, and the physics:
+//!
+//! - [`Integrator`] re-enters `run_distributed_field_on` per step,
+//!   standing up a fresh SPMD world (thread spawn + driver
+//!   scatter/gather, charged via
+//!   [`bltc_dist::HostModel::world_spawn_seconds`]) every evaluation;
+//! - [`PersistentIntegrator`] launches one
+//!   [`bltc_dist::FieldSession`] and keeps positions, velocities,
+//!   masses, and cached accelerations **resident on the ranks**,
+//!   advancing via epochs (kick–drift, optional migration, evaluate +
+//!   kick + energy reduction). Repartitioning gathers coordinates
+//!   rank-to-rank and migrates only ownership deltas; the driver
+//!   receives [`StepReport`]s and, on request, an explicit
+//!   [`PersistentIntegrator::snapshot`].
+//!
+//! The two produce **bitwise identical** trajectories (resident local
+//! sets are kept in the exact order `partition_particles` yields); the
+//! persistent path differs only in its modeled host clock and in
+//! moving repartition data across the simulated fabric instead of
+//! through the driver.
+//!
 //! ## Example
 //!
 //! A small Plummer sphere integrated for three steps on two ranks,
@@ -56,10 +79,12 @@
 
 mod forces;
 mod integrator;
+mod persistent;
 pub mod scenario;
 mod state;
 
 pub use forces::ForceModel;
 pub use integrator::{Integrator, SimConfig, SimReport, StepReport};
+pub use persistent::PersistentIntegrator;
 pub use scenario::{electrolyte_box, plummer_sphere};
 pub use state::SimState;

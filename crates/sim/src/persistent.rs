@@ -1,0 +1,358 @@
+//! Velocity-Verlet on a **persistent** distributed session: ranks are
+//! spawned once, the mechanical state lives on the ranks, and the
+//! driver only ever receives [`StepReport`]s (plus explicit snapshots).
+//!
+//! The respawn-path [`crate::Integrator`] re-enters
+//! `bltc_dist::run_distributed_field_on` once per step, paying a fresh
+//! SPMD world (thread spawn + communicator setup + driver-side
+//! scatter/gather of every particle record) every time. The
+//! [`PersistentIntegrator`] instead launches one
+//! [`bltc_dist::FieldSession`] and advances it with epochs:
+//!
+//! 1. **kick–drift epoch** — each rank half-kicks and drifts its
+//!    resident particles (velocities, masses, and cached accelerations
+//!    ride along as auxiliary columns);
+//! 2. **migration epoch** (on the repartition cadence) — coordinates
+//!    gather rank-to-rank, every rank recomputes the RCB partition
+//!    deterministically, and only the particles whose owner changed
+//!    move ([`bltc_dist::FieldSession::migrate`]);
+//! 3. **evaluation epoch** — the same rank-level pipeline as the
+//!    respawn path ([`bltc_dist::eval_field_rank`]) rebuilds windows
+//!    and LETs from the resident positions, stores accelerations back
+//!    into the slots, completes the kick, and reduces the energies.
+//!
+//! Because the per-rank local sets are kept sorted by global id —
+//! exactly the order `partition_particles` produces — every arithmetic
+//! step matches the respawn integrator operation-for-operation, and the
+//! two paths produce **bitwise identical trajectories**. What changes
+//! is the modeled host clock: one `world_spawn_seconds` at launch plus
+//! a few `epoch_seconds` per step, instead of a full world spawn per
+//! evaluation; repartition data flows rank-to-rank (the driver's gather
+//! bytes are zero), and migration moves deltas instead of everything.
+
+use std::sync::Arc;
+
+use bltc_core::kernel::GradientKernel;
+use bltc_dist::{eval_field_rank, DistConfig, FieldSession, RankLocal, RankReport};
+use mpi_sim::runtime::TrafficMatrix;
+use mpi_sim::Comm;
+
+use crate::forces::ForceModel;
+use crate::integrator::{SimConfig, SimReport, StepReport};
+use crate::state::SimState;
+
+/// Auxiliary-column layout of the resident state.
+const AUX_VX: usize = 0;
+const AUX_VY: usize = 1;
+const AUX_VZ: usize = 2;
+const AUX_MASS: usize = 3;
+const AUX_AX: usize = 4;
+const AUX_AY: usize = 5;
+const AUX_AZ: usize = 6;
+const AUX_COLS: usize = 7;
+
+/// The rank-level evaluation body: distributed field evaluation at the
+/// resident positions, then accelerations written back into the aux
+/// columns with exactly the arithmetic of
+/// [`ForceModel::accelerations_into`] (bitwise parity with the respawn
+/// path).
+fn eval_store_rank(
+    comm: &Comm,
+    slot: &mut RankLocal,
+    cfg: &DistConfig,
+    kernel: &dyn GradientKernel,
+    sign: f64,
+) -> RankReport {
+    let (report, field) = eval_field_rank(comm, &slot.ps, cfg, kernel);
+    for i in 0..slot.ps.len() {
+        let c = sign * slot.ps.q[i] / slot.aux[AUX_MASS][i];
+        slot.aux[AUX_AX][i] = c * field.gx[i];
+        slot.aux[AUX_AY][i] = c * field.gy[i];
+        slot.aux[AUX_AZ][i] = c * field.gz[i];
+    }
+    slot.field = Some(field);
+    report
+}
+
+/// This rank's kinetic-energy and pair-sum partials (`Σ ½ m v²`,
+/// `Σ q(φ − q·G(0))`) over its resident particles.
+fn energy_parts(slot: &RankLocal, g0: f64) -> (f64, f64) {
+    let field = slot.field.as_ref().expect("evaluated this epoch");
+    let mut ke = 0.0;
+    let mut pair = 0.0;
+    for i in 0..slot.ps.len() {
+        let (vx, vy, vz) = (
+            slot.aux[AUX_VX][i],
+            slot.aux[AUX_VY][i],
+            slot.aux[AUX_VZ][i],
+        );
+        ke += 0.5 * slot.aux[AUX_MASS][i] * (vx * vx + vy * vy + vz * vz);
+        let q = slot.ps.q[i];
+        pair += q * (field.potentials[i] - q * g0);
+    }
+    (ke, pair)
+}
+
+/// Folded driver-side view of one evaluation epoch.
+struct EvalEpoch {
+    setup_s: f64,
+    precompute_s: f64,
+    compute_s: f64,
+    total_s: f64,
+    rank_msgs: u64,
+    rank_bytes: u64,
+    matrix_msgs: u64,
+    matrix_bytes: u64,
+    kinetic: f64,
+    pair_sum: f64,
+    traffic: TrafficMatrix,
+}
+
+/// A velocity-Verlet integrator over a persistent rank session. The
+/// mechanical state resides on the ranks for the whole run; the driver
+/// holds only configuration, the cumulative [`SimReport`], and the
+/// simulation clock. Construct with [`PersistentIntegrator::new`],
+/// advance with [`PersistentIntegrator::step`] /
+/// [`PersistentIntegrator::run`], and gather state explicitly with
+/// [`PersistentIntegrator::snapshot`] when needed.
+pub struct PersistentIntegrator {
+    cfg: SimConfig,
+    session: FieldSession,
+    kernel: Arc<dyn GradientKernel>,
+    sign: f64,
+    g0: f64,
+    step: u64,
+    time: f64,
+    report: SimReport,
+}
+
+impl PersistentIntegrator {
+    /// Launch the session (initial RCB + the run's **only** thread
+    /// spawn), evaluate initial forces on the ranks, and record the
+    /// initial energy.
+    pub fn new(cfg: SimConfig, state: &SimState, model: &ForceModel) -> Self {
+        cfg.validate(state.len());
+        let n = state.len();
+        let aux = vec![
+            state.vx.clone(),
+            state.vy.clone(),
+            state.vz.clone(),
+            state.mass.clone(),
+            vec![0.0; n],
+            vec![0.0; n],
+            vec![0.0; n],
+        ];
+        debug_assert_eq!(aux.len(), AUX_COLS);
+        let session = FieldSession::launch(&state.particles, &aux, cfg.ranks, &cfg.dist);
+
+        let repartition_host_s = cfg.dist.host.repartition_seconds(n, cfg.ranks);
+        let spawn_host_s = cfg.dist.host.world_spawn_seconds(n, cfg.ranks);
+        let kernel = model.kernel_shared();
+        let g0 = kernel.eval(0.0, 0.0, 0.0);
+        let mut this = Self {
+            cfg,
+            session,
+            kernel,
+            sign: model.sign,
+            g0,
+            step: state.step,
+            time: state.time,
+            report: SimReport::starting(cfg.ranks, repartition_host_s, 1, spawn_host_s),
+        };
+        let eval = this.eval_epoch(false);
+        let e0 = eval.kinetic + this.pair_to_potential(eval.pair_sum);
+        this.report.initial_energy = e0;
+        this.report.final_energy = e0;
+        this
+    }
+
+    /// The cumulative run record so far.
+    pub fn report(&self) -> &SimReport {
+        &self.report
+    }
+
+    /// Completed steps (mirrors the resident state's clock).
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Epochs the underlying session has executed.
+    pub fn epochs_run(&self) -> u64 {
+        self.session.epochs_run()
+    }
+
+    fn pair_to_potential(&self, pair_sum: f64) -> f64 {
+        -self.sign * 0.5 * pair_sum
+    }
+
+    /// Run one evaluation epoch: field eval + acceleration store, an
+    /// optional trailing half-kick, and the energy reduction. Folds the
+    /// phase clocks and tallies into the cumulative report.
+    fn eval_epoch(&mut self, kick_after: bool) -> EvalEpoch {
+        let cfg = self.cfg.dist;
+        let kernel = Arc::clone(&self.kernel);
+        let sign = self.sign;
+        let g0 = self.g0;
+        let half = 0.5 * self.cfg.dt;
+        let er = self.session.run_epoch(move |comm, slot| {
+            let report = eval_store_rank(comm, slot, &cfg, &*kernel, sign);
+            if kick_after {
+                for i in 0..slot.ps.len() {
+                    slot.aux[AUX_VX][i] += half * slot.aux[AUX_AX][i];
+                    slot.aux[AUX_VY][i] += half * slot.aux[AUX_AY][i];
+                    slot.aux[AUX_VZ][i] += half * slot.aux[AUX_AZ][i];
+                }
+            }
+            let (ke, pair) = energy_parts(slot, g0);
+            (report, ke, pair)
+        });
+
+        let fmax = |f: &dyn Fn(&RankReport) -> f64| {
+            er.results.iter().map(|(r, _, _)| f(r)).fold(0.0, f64::max)
+        };
+        let rank_msgs: u64 = er.results.iter().map(|(r, _, _)| r.let_messages).sum();
+        let rank_bytes: u64 = er.results.iter().map(|(r, _, _)| r.let_bytes).sum();
+        // The RankReport invariant, per epoch: call-site tallies equal
+        // the epoch's drained matrix (kick epochs move nothing, and
+        // migration traffic drains into its own epoch, so nothing else
+        // can hide in here).
+        assert_eq!(rank_msgs, er.traffic.total_remote_messages());
+        assert_eq!(rank_bytes, er.traffic.total_remote_bytes());
+
+        let eval = EvalEpoch {
+            setup_s: fmax(&|r| r.setup_total()),
+            precompute_s: fmax(&|r| r.precompute_s),
+            compute_s: fmax(&|r| r.compute_s),
+            total_s: fmax(&|r| r.total()),
+            rank_msgs,
+            rank_bytes,
+            matrix_msgs: er.traffic.total_remote_messages(),
+            matrix_bytes: er.traffic.total_remote_bytes(),
+            kinetic: er.results.iter().map(|(_, ke, _)| ke).sum(),
+            pair_sum: er.results.iter().map(|(_, _, p)| p).sum(),
+            traffic: er.traffic,
+        };
+
+        let epoch_s = self.cfg.dist.host.epoch_seconds();
+        self.report.force_evals += 1;
+        self.report.epoch_host_s += epoch_s;
+        self.report.setup_s += eval.setup_s;
+        self.report.precompute_s += eval.precompute_s;
+        self.report.compute_s += eval.compute_s;
+        self.report.total_s += eval.total_s + epoch_s;
+        self.report.rma_messages += eval.rank_msgs;
+        self.report.rma_bytes += eval.rank_bytes;
+        self.report.traffic.accumulate(&eval.traffic);
+        eval
+    }
+
+    /// Advance one velocity-Verlet step of `cfg.dt` entirely on the
+    /// ranks: kick–drift epoch, migration epoch on the repartition
+    /// cadence, evaluation epoch with the closing kick and energy
+    /// reduction. Only this report returns to the driver.
+    pub fn step(&mut self) -> StepReport {
+        let dt = self.cfg.dt;
+        let half = 0.5 * dt;
+
+        // ---- epoch: half-kick + drift -------------------------------
+        self.session.run_epoch(move |_comm, slot| {
+            for i in 0..slot.ps.len() {
+                slot.aux[AUX_VX][i] += half * slot.aux[AUX_AX][i];
+                slot.aux[AUX_VY][i] += half * slot.aux[AUX_AY][i];
+                slot.aux[AUX_VZ][i] += half * slot.aux[AUX_AZ][i];
+                slot.ps.x[i] += dt * slot.aux[AUX_VX][i];
+                slot.ps.y[i] += dt * slot.aux[AUX_VY][i];
+                slot.ps.z[i] += dt * slot.aux[AUX_VZ][i];
+            }
+        });
+        let mut epoch_host_s = self.cfg.dist.host.epoch_seconds();
+        self.report.epoch_host_s += epoch_host_s;
+        self.report.total_s += epoch_host_s;
+        self.step += 1;
+        self.time += dt;
+
+        // ---- migration epoch on the cadence -------------------------
+        let repartitioned = self.step.is_multiple_of(self.cfg.repartition_every);
+        let mut repartition_host_s = 0.0;
+        let mut migration_comm_s = 0.0;
+        let mut migrated_particles = 0;
+        let mut migration_bytes = 0;
+        let mut full_exchange_bytes = 0;
+        if repartitioned {
+            let mig = self.session.migrate();
+            let epoch_s = self.cfg.dist.host.epoch_seconds();
+            repartition_host_s = mig.host_s;
+            migration_comm_s = mig.comm_s;
+            migrated_particles = mig.migrated_particles;
+            migration_bytes = mig.gather_bytes + mig.migrated_bytes;
+            full_exchange_bytes = mig.full_exchange_bytes;
+            epoch_host_s += epoch_s;
+
+            self.report.repartitions += 1;
+            self.report.migrations += 1;
+            self.report.migrated_particles += mig.migrated_particles;
+            self.report.migration_bytes += migration_bytes;
+            self.report.migration_comm_s += mig.comm_s;
+            self.report.migration_traffic.accumulate(&mig.traffic);
+            self.report.repartition_host_s += mig.host_s;
+            self.report.epoch_host_s += epoch_s;
+            self.report.total_s += mig.host_s + mig.comm_s + epoch_s;
+        }
+
+        // ---- epoch: evaluate + closing half-kick + energies ---------
+        let eval = self.eval_epoch(true);
+        epoch_host_s += self.cfg.dist.host.epoch_seconds();
+
+        let kinetic = eval.kinetic;
+        let potential = self.pair_to_potential(eval.pair_sum);
+        self.report.steps += 1;
+        self.report.final_energy = kinetic + potential;
+        let drift = (self.report.final_energy - self.report.initial_energy).abs();
+        self.report.max_abs_energy_drift = self.report.max_abs_energy_drift.max(drift);
+
+        StepReport {
+            step: self.step,
+            time: self.time,
+            repartitioned,
+            repartition_host_s,
+            spawn_host_s: 0.0, // the session's one spawn was paid at launch
+            epoch_host_s,
+            migrated_particles,
+            migration_bytes,
+            full_exchange_bytes,
+            migration_comm_s,
+            setup_s: eval.setup_s,
+            precompute_s: eval.precompute_s,
+            compute_s: eval.compute_s,
+            total_s: eval.total_s + repartition_host_s + migration_comm_s + epoch_host_s,
+            rank_msgs: eval.rank_msgs,
+            rank_bytes: eval.rank_bytes,
+            matrix_msgs: eval.matrix_msgs,
+            matrix_bytes: eval.matrix_bytes,
+            kinetic,
+            potential,
+        }
+    }
+
+    /// Advance `steps` steps, returning the per-step reports.
+    pub fn run(&mut self, steps: usize) -> Vec<StepReport> {
+        (0..steps).map(|_| self.step()).collect()
+    }
+
+    /// Gather the resident state back into a global-order [`SimState`]
+    /// — the explicit snapshot channel (checkpoints, trajectory
+    /// comparison against the respawn path). Costs one epoch and one
+    /// O(N) driver assembly; the stepping path never does this.
+    pub fn snapshot(&mut self) -> SimState {
+        let snap = self.session.snapshot();
+        let mut cols = snap.aux.into_iter();
+        let vx = cols.next().expect("aux column vx");
+        let vy = cols.next().expect("aux column vy");
+        let vz = cols.next().expect("aux column vz");
+        let mass = cols.next().expect("aux column mass");
+        let mut state = SimState::with_velocities(snap.ps, vx, vy, vz, mass);
+        state.step = self.step;
+        state.time = self.time;
+        state
+    }
+}

@@ -154,14 +154,20 @@ fn repartition_cadence_is_respected_and_charged() {
     }
     // The modeled run clock contains every phase and nothing else:
     // per-step totals (max over ranks) can never exceed the sum of the
-    // per-phase maxima.
+    // per-phase maxima. The respawn path pays a world spawn per force
+    // evaluation (the host tax persistent sessions amortize away).
     assert!(report.total_s > 0.0);
+    assert_eq!(report.world_spawns, report.force_evals);
+    assert!(report.spawn_host_s > 0.0);
+    assert_eq!(report.epoch_host_s, 0.0, "respawn path submits no epochs");
+    assert_eq!(report.migrations, 0, "respawn path never migrates");
     assert!(
         report.total_s
             <= report.setup_s
                 + report.precompute_s
                 + report.compute_s
                 + report.repartition_host_s
+                + report.spawn_host_s
                 + 1e-12,
         "phase clocks must bound the total"
     );
