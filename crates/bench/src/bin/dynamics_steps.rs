@@ -12,16 +12,25 @@
 //!
 //! ```text
 //! cargo run --release --bin dynamics_steps [-- --n 8000 --steps 10 \
-//!     --dt 1e-3 --max-ranks 8 --repartition-every 5]
+//!     --dt 1e-3 --max-ranks 8 --repartition-every 5 --threads 4]
 //! ```
+//!
+//! `--threads N` sizes the host pool the per-rank host phases run on
+//! (default: `BLTC_HOST_THREADS` / hardware); trajectories are bitwise
+//! independent of it.
 
-use bltc_bench::Args;
+use bltc_bench::{host_pool, Args};
 use bltc_core::config::BltcParams;
 use bltc_dist::DistConfig;
 use bltc_sim::{plummer_sphere, Integrator, SimConfig};
 
 fn main() {
     let args = Args::from_env();
+    let pool = host_pool(&args);
+    pool.install(|| run(&args));
+}
+
+fn run(args: &Args) {
     let n = args.usize("n", 8_000);
     let steps = args.usize("steps", 10);
     let dt = args.f64("dt", 1e-3);

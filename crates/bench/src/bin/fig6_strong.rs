@@ -10,10 +10,14 @@
 //! (same substitution note as fig5_weak).
 //!
 //! ```text
-//! cargo run --release --bin fig6_strong [-- --n-small 16000 --n-large 64000]
+//! cargo run --release --bin fig6_strong [-- --n-small 16000 --n-large 64000 --threads 4]
 //! ```
+//!
+//! `--threads N` sizes the host pool the per-rank host phases run on
+//! (default: `BLTC_HOST_THREADS` / hardware); results are bitwise
+//! independent of it.
 
-use bltc_bench::{sci, Args};
+use bltc_bench::{host_pool, sci, Args};
 use bltc_core::engine::direct_sum_subset;
 use bltc_core::error::{sample_indices, sampled_relative_l2_error};
 use bltc_core::kernel::{Coulomb, Kernel, Yukawa};
@@ -22,6 +26,11 @@ use bltc_dist::{run_distributed, DistConfig};
 
 fn main() {
     let args = Args::from_env();
+    let pool = host_pool(&args);
+    pool.install(|| run(&args));
+}
+
+fn run(args: &Args) {
     let n_small = args.usize("n-small", 16_000);
     let n_large = args.usize("n-large", 64_000);
     let max_ranks = args.usize("max-ranks", 32);

@@ -1,0 +1,263 @@
+//! Wall-clock scaling of the **host** phases over the work-stealing
+//! pool — the first real-time (not modeled) benchmark in the
+//! workspace.
+//!
+//! Every other harness reports the deterministic modeled clocks; this
+//! one measures actual elapsed time of the CPU-side paths that the
+//! rayon-compat pool parallelizes:
+//!
+//! - `ParallelEngine` (prepare + evaluate, the OpenMP-analogue CPU
+//!   treecode) on `--n` particles,
+//! - `direct_sum` (`O(N²)`) on `--n-direct` particles,
+//! - `evaluate_field_parallel` (potential + gradient) on `--n`,
+//! - the full distributed field pipeline on `--ranks` in-process ranks
+//!   (rank threads share the installed pool — pool-per-process).
+//!
+//! Each section runs under pools of `--workers` (default `1,2,4,8`)
+//! workers, repeated `--reps` times keeping the minimum, and the
+//! results are written to `--out` (default `BENCH_host_parallel.json`)
+//! for the perf trajectory. Potentials are asserted **bitwise
+//! identical across every pool size** while measuring — the
+//! determinism contract is validated by the benchmark itself.
+//!
+//! Wall-clock numbers are machine-dependent (unlike every modeled
+//! table): speedups require actual hardware parallelism; on a 1-CPU
+//! container every worker count necessarily measures ≈1×, which the
+//! JSON records via `available_parallelism`.
+//!
+//! ```text
+//! cargo run --release --bin host_parallel [-- --n 20000 --workers 1,2,4,8]
+//! cargo run --release --bin host_parallel -- --smoke   # CI-sized
+//! ```
+
+use std::time::Instant;
+
+use bltc_bench::Args;
+use bltc_core::config::BltcParams;
+use bltc_core::engine::{direct_sum, ParallelEngine, PreparedTreecode, TreecodeEngine};
+use bltc_core::kernel::Coulomb;
+use bltc_core::particles::ParticleSet;
+use bltc_dist::{run_distributed_field, DistConfig};
+
+/// One measured section: seconds per worker count, in sweep order.
+struct Section {
+    name: &'static str,
+    problem: String,
+    seconds: Vec<(usize, f64)>,
+}
+
+impl Section {
+    fn speedup(&self, workers: usize) -> Option<f64> {
+        let t1 = self.seconds.iter().find(|(w, _)| *w == 1)?.1;
+        let tw = self.seconds.iter().find(|(w, _)| *w == workers)?.1;
+        Some(t1 / tw)
+    }
+}
+
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("smoke");
+    let n = args.usize("n", if smoke { 4_000 } else { 20_000 });
+    let n_direct = args.usize("n-direct", if smoke { 1_000 } else { 4_000 });
+    let ranks = args.usize("ranks", 4);
+    let reps = args.usize("reps", if smoke { 1 } else { 3 });
+    let seed = args.usize("seed", 99) as u64;
+    let out_path = args
+        .get_opt("out")
+        .unwrap_or_else(|| "BENCH_host_parallel.json".to_string());
+    // Worker sweep: explicit `--threads N` measures 1 vs N; otherwise
+    // `--workers a,b,c` (default 1,2,4,8).
+    let sweep: Vec<usize> = if let Some(t) = args.get_opt("threads") {
+        let t: usize = t.parse().expect("bad --threads");
+        if t == 1 {
+            vec![1]
+        } else {
+            vec![1, t]
+        }
+    } else {
+        args.get_opt("workers")
+            .unwrap_or_else(|| "1,2,4,8".to_string())
+            .split(',')
+            .map(|s| s.trim().parse().expect("bad --workers entry"))
+            .collect()
+    };
+
+    let avail = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let params = BltcParams::new(0.7, 5, 200, 200);
+    let ps = ParticleSet::random_cube(n, seed);
+    let ps_direct = ParticleSet::random_cube(n_direct, seed ^ 0xd1);
+
+    println!("host_parallel — wall-clock scaling of the host phases");
+    println!(
+        "N = {n} (engine/field/dist), N_direct = {n_direct}, ranks = {ranks}, \
+         reps = {reps}, hardware threads = {avail}"
+    );
+    println!("worker sweep: {sweep:?}\n");
+
+    let mut sections = vec![
+        Section {
+            name: "parallel_engine",
+            problem: format!("N = {n}, θ = 0.7, degree 5 (prepare + evaluate)"),
+            seconds: Vec::new(),
+        },
+        Section {
+            name: "direct_sum",
+            problem: format!("N = {n_direct} (O(N²) potentials)"),
+            seconds: Vec::new(),
+        },
+        Section {
+            name: "field_eval",
+            problem: format!("N = {n}, potentials + gradients on a shared preparation"),
+            seconds: Vec::new(),
+        },
+        Section {
+            name: "distributed_field",
+            problem: format!("N = {n}, {ranks} ranks, full pipeline (shared pool)"),
+            seconds: Vec::new(),
+        },
+    ];
+
+    // Bitwise references from the first sweep entry: the bench itself
+    // asserts the determinism contract across pool sizes.
+    let mut ref_engine: Option<Vec<f64>> = None;
+    let mut ref_direct: Option<Vec<f64>> = None;
+    let mut ref_field: Option<Vec<f64>> = None;
+    let mut ref_dist: Option<Vec<f64>> = None;
+
+    for &w in &sweep {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(w)
+            .build()
+            .expect("pool build");
+        pool.install(|| {
+            let engine = ParallelEngine::new(params);
+            let (t, result) = time_min(reps, || engine.compute(&ps, &ps, &Coulomb));
+            check(&mut ref_engine, &result.potentials, "parallel_engine", w);
+            sections[0].seconds.push((w, t));
+
+            let (t, pot) = time_min(reps, || direct_sum(&ps_direct, &ps_direct, &Coulomb));
+            check(&mut ref_direct, &pot, "direct_sum", w);
+            sections[1].seconds.push((w, t));
+
+            let prep = PreparedTreecode::new(&ps, &ps, params);
+            let (t, field) = time_min(reps, || prep.evaluate_field_parallel(&Coulomb));
+            check(&mut ref_field, &field.gx, "field_eval", w);
+            sections[2].seconds.push((w, t));
+
+            let cfg = DistConfig::comet(params);
+            let (t, rep) = time_min(reps, || run_distributed_field(&ps, ranks, &cfg, &Coulomb));
+            check(&mut ref_dist, &rep.field.potentials, "distributed_field", w);
+            sections[3].seconds.push((w, t));
+        });
+        println!("  measured {w}-worker pool");
+    }
+
+    println!("\nsection             problem");
+    for s in &sections {
+        println!("{:<19} {}", s.name, s.problem);
+    }
+    print!("\n{:<19}", "workers");
+    for &w in &sweep {
+        print!("  {w:>10}");
+    }
+    println!();
+    for s in &sections {
+        print!("{:<19}", s.name);
+        for &(_, t) in &s.seconds {
+            print!("  {t:>9.4}s");
+        }
+        println!();
+    }
+    println!();
+    for s in &sections {
+        if let Some(sp) = s.speedup(4) {
+            println!("{:<19} speedup 4 workers vs 1: {sp:>5.2}x", s.name);
+        }
+    }
+    println!(
+        "\n(wall-clock; determinism asserted bitwise across all pool sizes; \
+         real speedup requires ≥4 hardware threads — this host has {avail})"
+    );
+
+    let json = render_json(&sections, &sweep, avail, smoke, n, n_direct, ranks, reps);
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+}
+
+/// Assert bitwise identity against the sweep's first measurement.
+fn check(reference: &mut Option<Vec<f64>>, got: &[f64], name: &str, workers: usize) {
+    match reference {
+        None => *reference = Some(got.to_vec()),
+        Some(r) => assert!(
+            r.iter().zip(got).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "{name}: {workers}-worker result diverged bitwise from the reference"
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    sections: &[Section],
+    sweep: &[usize],
+    avail: usize,
+    smoke: bool,
+    n: usize,
+    n_direct: usize,
+    ranks: usize,
+    reps: usize,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"host_parallel\",\n");
+    s.push_str(&format!("  \"available_parallelism\": {avail},\n"));
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!(
+        "  \"n\": {n},\n  \"n_direct\": {n_direct},\n  \"ranks\": {ranks},\n  \"reps\": {reps},\n"
+    ));
+    s.push_str(&format!(
+        "  \"workers\": [{}],\n",
+        sweep
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str("  \"bitwise_identical_across_workers\": true,\n");
+    s.push_str("  \"sections\": {\n");
+    for (i, sec) in sections.iter().enumerate() {
+        s.push_str(&format!("    \"{}\": {{\n", sec.name));
+        s.push_str(&format!("      \"problem\": \"{}\",\n", sec.problem));
+        s.push_str("      \"seconds\": {");
+        let cells: Vec<String> = sec
+            .seconds
+            .iter()
+            .map(|(w, t)| format!("\"{w}\": {t:.6}"))
+            .collect();
+        s.push_str(&cells.join(", "));
+        s.push_str("},\n");
+        match sec.speedup(4) {
+            Some(sp) => s.push_str(&format!("      \"speedup_4v1\": {sp:.3}\n")),
+            None => s.push_str("      \"speedup_4v1\": null\n"),
+        }
+        s.push_str(if i + 1 == sections.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  }\n}\n");
+    s
+}

@@ -11,6 +11,7 @@
 //! | `ablation_streams` | §3.2 — async-stream ablation (~25% claim) |
 //! | `dynamics_steps`   | time-per-step scaling of the `bltc-sim` driver, 1→8 ranks |
 //! | `dynamics_persistent` | respawn-per-step vs persistent-session amortization, 1→8 ranks |
+//! | `host_parallel`    | **wall-clock** host-phase scaling over the work-stealing pool |
 //!
 //! Default problem sizes are scaled to a single-core container (the paper
 //! ran 1M–1B particles on Titan V / 32×P100); every binary takes `--n`
@@ -92,9 +93,26 @@ impl Args {
         self.get(key).is_some()
     }
 
+    /// Look up a raw string value, if present.
+    pub fn get_opt(&self, key: &str) -> Option<String> {
+        self.get(key).cloned()
+    }
+
     fn get(&self, key: &str) -> Option<&String> {
         self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
+}
+
+/// Build a host pool honoring a bench's `--threads N` flag (0 ⇒ the
+/// `BLTC_HOST_THREADS` / hardware default) and return it; run the
+/// bench body inside `pool.install(..)` so every host phase — and,
+/// through pool inheritance, every simulated rank — uses exactly `N`
+/// workers.
+pub fn host_pool(args: &Args) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(args.usize("threads", 0))
+        .build()
+        .expect("failed to build host pool")
 }
 
 /// Modeled CPU run time of a treecode evaluation on the paper's 6-core

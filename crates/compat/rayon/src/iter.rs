@@ -1,0 +1,493 @@
+//! Indexed parallel iterators over the pool.
+//!
+//! rayon's full iterator machinery (plumbing with producers/consumers)
+//! is replaced by a simpler model that covers every call site in this
+//! workspace: an **indexed** iterator knows its length and can produce
+//! the item at any index independently ([`ParallelIterator::fetch`]).
+//! Every combinator preserves index addressing, so `collect` can write
+//! item `i` straight into slot `i` of the output vector — which is the
+//! whole determinism story: results are assembled by *index*, never by
+//! completion order, making every collect bitwise identical to serial
+//! execution at any pool size.
+//!
+//! Reductions ([`ParallelIterator::sum`]) materialize the items first
+//! and fold them in index order on one thread — a fixed-order
+//! reduction. The parallel win comes from producing the items (the
+//! expensive part at every workspace call site); the fold itself is
+//!`O(len)` additions.
+
+use crate::pool::for_each_index;
+
+// ---------------------------------------------------------------------
+// Core trait
+// ---------------------------------------------------------------------
+
+/// An indexed parallel iterator: `len` items, item `i` computable
+/// independently of every other item.
+///
+/// `fetch` takes `&self` and is called concurrently from pool workers;
+/// implementations are pure reads over `Sync` data.
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produce the item at `index` (`0 <= index < par_len()`).
+    fn fetch(&self, index: usize) -> Self::Item;
+
+    /// Map every item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair items positionally with another iterator; the result has
+    /// the shorter length.
+    fn zip<B>(self, other: B) -> Zip<Self, B::Iter>
+    where
+        B: IntoParallelIterator,
+    {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+
+    /// Execute `f` on every item (order unspecified; any output must
+    /// be index-addressed by the caller to stay deterministic).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        for_each_index(self.par_len(), &|i| f(self.fetch(i)));
+    }
+
+    /// Collect into `C`. Items are produced in parallel and written
+    /// each to its own index, so the result is bitwise identical to
+    /// the serial collect for any pool size.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Fixed-order sum: items are produced in parallel, then folded in
+    /// ascending index order on the calling thread — deterministic for
+    /// non-associative arithmetic (floats) at any pool size.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        collect_vec(self).into_iter().sum()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] (rayon's entry-point trait).
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<P: ParallelIterator> IntoParallelIterator for P {
+    type Iter = P;
+    type Item = P::Item;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+/// `par_iter` on borrowed collections (rayon's by-reference entry
+/// point).
+pub trait IntoParallelRefIterator<'data> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a reference).
+    type Item: Send + 'data;
+
+    /// Iterate over `&self` in parallel.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+/// Chunked views of slices (`par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// Split into contiguous chunks of (at most) `chunk_size` items,
+    /// iterated in parallel. Chunk boundaries depend only on the slice
+    /// length and `chunk_size` — never on the pool — so chunked
+    /// reductions stay deterministic.
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksIter {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collect
+// ---------------------------------------------------------------------
+
+/// Types constructible from a parallel iterator (rayon's
+/// `FromParallelIterator`).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build `Self` from the iterator's items.
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>,
+    {
+        collect_vec(iter)
+    }
+}
+
+/// Wrapper making a raw output pointer shareable across workers; each
+/// index is written exactly once, so concurrent writers never alias.
+struct SharedPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SharedPtr<T> {}
+
+impl<T> SharedPtr<T> {
+    // Accessor (rather than field access) so closures capture the
+    // Sync wrapper, not the raw pointer field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+fn collect_vec<I: ParallelIterator>(iter: I) -> Vec<I::Item> {
+    let len = iter.par_len();
+    let mut out: Vec<I::Item> = Vec::with_capacity(len);
+    {
+        let ptr = SharedPtr(out.as_mut_ptr());
+        for_each_index(len, &|i| {
+            // SAFETY: index-addressed write into reserved capacity;
+            // each slot written exactly once; `set_len` happens only
+            // after every write completed (for_each_index returns —
+            // or unwinds, in which case the vec stays at len 0 and
+            // the written items leak rather than double-drop).
+            unsafe { ptr.get().add(i).write(iter.fetch(i)) };
+        });
+    }
+    // SAFETY: all `len` slots initialized above.
+    unsafe { out.set_len(len) };
+    out
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for SliceIter<'data, T> {
+    type Item = &'data T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn fetch(&self, index: usize) -> Self::Item {
+        &self.slice[index]
+    }
+}
+
+/// Parallel iterator over contiguous chunks of a slice.
+pub struct ChunksIter<'data, T> {
+    slice: &'data [T],
+    chunk_size: usize,
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for ChunksIter<'data, T> {
+    type Item = &'data [T];
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn fetch(&self, index: usize) -> Self::Item {
+        let lo = index * self.chunk_size;
+        let hi = (lo + self.chunk_size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_impl {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> Self::Iter {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+
+            fn par_len(&self) -> usize {
+                self.len
+            }
+
+            fn fetch(&self, index: usize) -> Self::Item {
+                self.start + index as $t
+            }
+        }
+    )*};
+}
+
+range_impl!(usize, u32, u64, i32, i64);
+
+impl<'data, T: Sync + 'data> IntoParallelIterator for &'data [T] {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelIterator for &'data Vec<T> {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------
+
+/// Map adapter; see [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Send + Sync,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn fetch(&self, index: usize) -> Self::Item {
+        (self.f)(self.base.fetch(index))
+    }
+}
+
+/// Zip adapter; see [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+
+    fn fetch(&self, index: usize) -> Self::Item {
+        (self.a.fetch(index), self.b.fetch(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPoolBuilder;
+
+    fn pool(n: usize) -> crate::ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    #[test]
+    fn range_map_collect_is_in_order() {
+        let p = pool(4);
+        let v: Vec<usize> = p.install(|| (0..1000usize).into_par_iter().map(|i| i * 2).collect());
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn slice_zip_map_collect() {
+        let a: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..500).map(|i| (i * 3) as f64).collect();
+        let p = pool(3);
+        let v: Vec<f64> =
+            p.install(|| a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect());
+        let serial: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        assert_eq!(v, serial);
+    }
+
+    #[test]
+    fn par_chunks_partitions_without_overlap() {
+        let data: Vec<u32> = (0..1003).collect();
+        let p = pool(4);
+        let sums: Vec<u64> = p.install(|| {
+            data.par_chunks(100)
+                .map(|c| c.iter().map(|&x| x as u64).sum::<u64>())
+                .collect()
+        });
+        assert_eq!(sums.len(), 11);
+        assert_eq!(
+            sums.iter().sum::<u64>(),
+            (0..1003u64).sum::<u64>(),
+            "chunks must cover the slice exactly once"
+        );
+        assert_eq!(sums[10], (1000..1003u64).sum::<u64>(), "last chunk short");
+    }
+
+    #[test]
+    fn sum_is_fixed_order_across_pool_sizes() {
+        // Sum of floats whose value depends on association order —
+        // must come out bitwise identical at every pool size.
+        let serial: f64 = (0..10_000)
+            .map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 * 1e-3 + 1.0)
+            .sum();
+        for threads in [1, 2, 7] {
+            let p = pool(threads);
+            let par: f64 = p.install(|| {
+                (0..10_000usize)
+                    .into_par_iter()
+                    .map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 * 1e-3 + 1.0)
+                    .sum()
+            });
+            assert_eq!(par.to_bits(), serial.to_bits(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn collect_bitwise_identical_across_pool_sizes() {
+        let produce = || -> Vec<f64> {
+            (0..5000usize)
+                .into_par_iter()
+                .map(|i| (i as f64).sqrt().sin() / (i as f64 + 0.5))
+                .collect()
+        };
+        let reference = pool(1).install(produce);
+        for threads in [2, 4, 7] {
+            let got = pool(threads).install(produce);
+            assert!(
+                reference
+                    .iter()
+                    .zip(&got)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{threads} threads diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn for_each_with_index_addressed_writes() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let p = pool(4);
+        let out: Vec<AtomicU64> = (0..2000).map(|_| AtomicU64::new(0)).collect();
+        p.install(|| {
+            (0..2000usize)
+                .into_par_iter()
+                .for_each(|i| out[i].store(i as u64 + 1, Ordering::Relaxed))
+        });
+        assert!(out
+            .iter()
+            .enumerate()
+            .all(|(i, v)| v.load(Ordering::Relaxed) == i as u64 + 1));
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let p = pool(2);
+        let v: Vec<usize> = p.install(|| (0..0usize).into_par_iter().map(|i| i).collect());
+        assert!(v.is_empty());
+        let e: Vec<f64> = Vec::new();
+        let s: f64 = p.install(|| e.par_iter().map(|&x| x).sum());
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn panic_in_map_propagates_and_leaks_no_unsoundness() {
+        let p = pool(2);
+        let caught = p.install(|| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _: Vec<String> = (0..100usize)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 57 {
+                            panic!("bad item");
+                        }
+                        i.to_string()
+                    })
+                    .collect();
+            }))
+        });
+        assert!(caught.is_err());
+        // Pool unaffected.
+        let v: Vec<usize> = p.install(|| (0..10usize).into_par_iter().map(|i| i).collect());
+        assert_eq!(v, (0..10).collect::<Vec<_>>());
+    }
+}

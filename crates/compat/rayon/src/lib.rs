@@ -1,41 +1,46 @@
-//! Sequential drop-in for the subset of rayon used by this workspace.
+//! Work-stealing drop-in for the subset of rayon used by this
+//! workspace — **really parallel** since PR 5.
 //!
-//! The "parallel" iterators here are the corresponding sequential
-//! iterators; `.map(..).collect()` / `.zip(..)` chains therefore run
-//! in-order on one thread. All call sites in this workspace are
-//! deterministic map-collects whose results are documented to be
-//! bitwise identical to serial execution, so this is a conforming
-//! implementation of the semantics (not the performance).
+//! A hand-rolled, std-only pool ([`mod@pool`]): worker threads with
+//! per-worker chunked deques, LIFO owner pops, FIFO stealing, a shared
+//! injector for non-pool threads, and helping waits (a thread blocked
+//! on a `join` half or a scope executes other pool jobs, so nested
+//! parallelism cannot deadlock). The iterator layer ([`mod@iter`]) is
+//! an *indexed* model: every combinator knows its length and computes
+//! item `i` independently, and `collect` writes item `i` into slot `i`
+//! — which is why every result is **bitwise identical to serial
+//! execution at any pool size** (the workspace's determinism
+//! contract; see `crates/compat/README.md`).
+//!
+//! Pool sizing: `ThreadPoolBuilder::num_threads(n)`, or the
+//! `BLTC_HOST_THREADS` environment variable (then `RAYON_NUM_THREADS`,
+//! then `available_parallelism`) for every default-sized pool
+//! including the implicit global one.
+//!
+//! ```
+//! use rayon::prelude::*;
+//!
+//! let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+//! let squares: Vec<u64> = pool.install(|| (0..100u64).into_par_iter().map(|i| i * i).collect());
+//! assert_eq!(squares[7], 49);
+//! let (a, b) = pool.install(|| rayon::join(|| 1 + 1, || 2 + 2));
+//! assert_eq!((a, b), (2, 4));
+//! ```
 
+pub mod iter;
+pub mod pool;
+
+pub use pool::{
+    current_num_threads, current_pool, default_num_threads, for_each_index, join, scope, Scope,
+    ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder, HOST_THREADS_ENV, MAX_POOL_THREADS,
+};
+
+/// The traits every call site imports (`use rayon::prelude::*`).
 pub mod prelude {
-    /// Stand-in for `rayon::iter::IntoParallelIterator`.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
-
-    /// Stand-in for `rayon::iter::IntoParallelRefIterator`.
-    pub trait IntoParallelRefIterator<'data> {
-        type Iter: Iterator;
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = core::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
-        }
-    }
-
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = core::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
-        }
-    }
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSlice,
+    };
 }
 
 #[cfg(test)]
@@ -44,7 +49,7 @@ mod tests {
 
     #[test]
     fn range_into_par_iter_collects_in_order() {
-        let v: Vec<usize> = (0..5).into_par_iter().map(|i| i * 2).collect();
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(v, vec![0, 2, 4, 6, 8]);
     }
 

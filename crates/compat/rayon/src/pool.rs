@@ -1,0 +1,1125 @@
+//! The work-stealing host thread pool.
+//!
+//! A hand-rolled, std-only replacement for rayon-core's registry:
+//! `N` worker threads, each owning a chunked deque of jobs, stealing
+//! from each other (and from a shared injector fed by non-pool
+//! threads) when their own deque runs dry. The public surface mirrors
+//! the rayon-core subset this workspace uses — [`join`], [`scope`],
+//! [`ThreadPool`], [`ThreadPoolBuilder`], [`current_num_threads`] —
+//! and the iterator layer in [`crate::iter`] builds everything on top
+//! of [`join`].
+//!
+//! ## Scheduling model
+//!
+//! - **Owner end.** A worker pushes split halves of its work onto the
+//!   *back* of its own deque and pops them back LIFO — the cache-hot
+//!   depth-first order.
+//! - **Thief end.** Idle workers steal from the *front* of a victim's
+//!   deque (the oldest, largest chunks) or from the shared injector —
+//!   the breadth-first order that balances load.
+//! - **Waiting helps.** A worker blocked on a [`Latch`] (the second
+//!   half of a `join`, a scope's completion) executes other pending
+//!   jobs instead of sleeping, so nested parallelism can never
+//!   deadlock the pool. Non-pool threads park on a condvar instead.
+//!
+//! ## Determinism contract
+//!
+//! The pool schedules *execution*, never *results*: every construct
+//! exposed here returns values in a thread-count-independent order
+//! (`join` returns `(ra, rb)` positionally; the iterator layer writes
+//! each element to its own index). Callers that follow the workspace
+//! rule — index-addressed output writes, fixed-order reductions —
+//! get bitwise-identical results at any pool size.
+//!
+//! ## Panic discipline
+//!
+//! A panicking job never unwinds a worker: the payload is caught,
+//! stored in the job's result slot, and re-raised on the thread that
+//! *waits* on the job (`join` re-raises after both halves complete;
+//! `scope` after all spawned tasks complete). Workers survive and keep
+//! serving unrelated jobs.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Hard sanity cap on pool size (an oversubscription guard: far above
+/// any sane `ranks × workers` product, low enough to catch a runaway
+/// configuration like `BLTC_HOST_THREADS=1000000`).
+pub const MAX_POOL_THREADS: usize = 256;
+
+/// Environment variable overriding the default worker count of every
+/// pool built without an explicit `num_threads` (including the global
+/// pool). Takes precedence over `RAYON_NUM_THREADS`.
+pub const HOST_THREADS_ENV: &str = "BLTC_HOST_THREADS";
+
+// ---------------------------------------------------------------------
+// Job references
+// ---------------------------------------------------------------------
+
+/// Type-erased pointer to a job living either on a waiting thread's
+/// stack ([`StackJob`]) or on the heap ([`HeapJob`]). The owner
+/// guarantees the pointee outlives execution (stack jobs are waited on
+/// before their frame exits; heap jobs are boxed).
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// Jobs are identified by their data pointer alone (unique per live
+// job); function pointers are not reliably comparable.
+impl PartialEq for JobRef {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.data, other.data)
+    }
+}
+
+impl Eq for JobRef {}
+
+// SAFETY: the job protocol (latch-before-frame-exit for stack jobs,
+// box ownership transfer for heap jobs) makes the pointer valid on
+// whichever thread executes it.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    unsafe fn execute(self) {
+        (self.exec)(self.data)
+    }
+}
+
+/// Completion flag. Deliberately nothing but one atomic: a latch
+/// usually lives on the *waiting* thread's stack, and the waiter may
+/// destroy it the instant `probe()` turns true — so the setter's last
+/// (and only) touch of latch memory must be the single `done` store.
+/// All wakeup machinery (mutex + condvar) lives in the [`Registry`],
+/// which outlives every job; [`Registry::notify_event`] is called
+/// *after* the store and touches only registry memory.
+struct Latch {
+    done: AtomicBool,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Self {
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Set the flag, then wake sleepers through the registry. After
+    /// the store returns, this function never touches `self` again —
+    /// the waiter is free to deallocate the latch concurrently.
+    fn set(&self, registry: &Registry) {
+        self.done.store(true, Ordering::Release);
+        registry.notify_event();
+    }
+}
+
+/// A `join` half on the waiter's stack: closure in, result (or panic
+/// payload) out, latch signalled on completion.
+struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    latch: Latch,
+    /// The pool this job belongs to. Raw pointer, not `Arc`: the
+    /// waiting caller holds an `Arc` for the job's whole life, and the
+    /// executing thread holds its own (worker main loop or helper
+    /// context), so the pointee strictly outlives execution.
+    registry: *const Registry,
+}
+
+// SAFETY: access is handshaked through the latch — exactly one thread
+// executes (writing `result`), and the owner reads it only after the
+// latch is set. The registry pointer is valid for the job's life (see
+// field docs).
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(f: F, registry: &Arc<Registry>) -> Self {
+        Self {
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+            registry: Arc::as_ptr(registry),
+        }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            exec: Self::exec,
+        }
+    }
+
+    unsafe fn exec(data: *const ()) {
+        let this = &*(data as *const Self);
+        let registry = &*this.registry;
+        let f = (*this.f.get()).take().expect("job executed twice");
+        let result = catch_unwind(AssertUnwindSafe(f));
+        *this.result.get() = Some(result);
+        // `set` stores the flag as its ONLY touch of `this`; the
+        // waiter may free the job the moment the flag flips, while we
+        // are still inside `notify_event` — which touches only the
+        // registry. Never touch `this` after this line.
+        this.latch.set(registry);
+    }
+
+    /// Take the result after the latch fired; re-raises a captured
+    /// panic on the caller.
+    fn into_result(self) -> R {
+        match self.result.into_inner().expect("latch set without result") {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+/// A heap-allocated fire-and-forget job (scope tasks).
+struct HeapJob {
+    body: Box<dyn FnOnce() + Send>,
+}
+
+impl HeapJob {
+    fn into_job_ref(body: Box<dyn FnOnce() + Send>) -> JobRef {
+        let boxed = Box::new(HeapJob { body });
+        JobRef {
+            data: Box::into_raw(boxed) as *const (),
+            exec: Self::exec,
+        }
+    }
+
+    unsafe fn exec(data: *const ()) {
+        let boxed = Box::from_raw(data as *mut HeapJob);
+        // Panic containment is the *scope's* job (it records the
+        // payload); nothing may unwind past a worker loop.
+        (boxed.body)();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry: deques, injector, sleep machinery
+// ---------------------------------------------------------------------
+
+/// Shared state of one pool.
+pub(crate) struct Registry {
+    /// One deque per worker. Owner pushes/pops at the back; thieves
+    /// (and [`pop_specific`](Registry::pop_specific)) take from the
+    /// front.
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Submission queue for jobs originating outside the pool.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Count of queued-but-unclaimed jobs (wakeup hint).
+    pending: AtomicUsize,
+    /// Event rendezvous: idle workers *and* threads blocked on a latch
+    /// park here; every push and every latch set broadcasts. Lives in
+    /// the registry (never on a job) so completion notifications touch
+    /// only memory that outlives every job — see [`Latch`].
+    event_lock: Mutex<()>,
+    event_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Registry {
+    fn new(n_threads: usize) -> Self {
+        Self {
+            deques: (0..n_threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            injector: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            event_lock: Mutex::new(()),
+            event_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Broadcast "something happened" (new job, latch set, shutdown).
+    /// Taking the lock before notifying pairs with sleepers' re-check
+    /// under the same lock, closing the missed-wakeup window.
+    fn notify_event(&self) {
+        let _g = Self::lock(&self.event_lock);
+        self.event_cv.notify_all();
+    }
+
+    fn push_local(&self, worker: usize, job: JobRef) {
+        Self::lock(&self.deques[worker]).push_back(job);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.notify_event();
+    }
+
+    fn push_injector(&self, job: JobRef) {
+        Self::lock(&self.injector).push_back(job);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.notify_event();
+    }
+
+    /// Pop the caller's most recent push if nobody has stolen it
+    /// (LIFO fast path of `join`).
+    fn pop_specific_local(&self, worker: usize, job: JobRef) -> bool {
+        let mut dq = Self::lock(&self.deques[worker]);
+        if dq.back() == Some(&job) {
+            dq.pop_back();
+            drop(dq);
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reclaim a job from the injector (external `join` fast path).
+    fn pop_specific_injector(&self, job: JobRef) -> bool {
+        let mut q = Self::lock(&self.injector);
+        if let Some(pos) = q.iter().position(|j| *j == job) {
+            q.remove(pos);
+            drop(q);
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Find any runnable job: own deque (back), then steal from peers
+    /// (front), then the injector (front).
+    fn find_job(&self, worker: Option<usize>) -> Option<JobRef> {
+        if let Some(w) = worker {
+            if let Some(job) = Self::lock(&self.deques[w]).pop_back() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+            let n = self.deques.len();
+            for k in 1..n {
+                let victim = (w + k) % n;
+                if let Some(job) = Self::lock(&self.deques[victim]).pop_front() {
+                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    return Some(job);
+                }
+            }
+        }
+        if let Some(job) = Self::lock(&self.injector).pop_front() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        // A non-worker helper may also relieve a worker deque: take
+        // the oldest chunk, exactly like a thief.
+        if worker.is_none() {
+            for dq in &self.deques {
+                if let Some(job) = Self::lock(dq).pop_front() {
+                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    return Some(job);
+                }
+            }
+        }
+        None
+    }
+
+    /// Wait on `latch`, executing other jobs while it is unset — this
+    /// is what makes nested `join` deadlock-free: a thread that owes a
+    /// result keeps the pool moving instead of parking. When nothing
+    /// is runnable, park on the event condvar (woken by any push or
+    /// any latch set; timed as a belt-and-braces backstop).
+    fn wait_helping(&self, worker: Option<usize>, latch: &Latch) {
+        let mut idle_spins = 0u32;
+        while !latch.probe() {
+            if let Some(job) = self.find_job(worker) {
+                idle_spins = 0;
+                unsafe { job.execute() };
+                continue;
+            }
+            idle_spins += 1;
+            if idle_spins < 64 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let g = Self::lock(&self.event_lock);
+            // Re-check under the lock (pairs with notify_event).
+            if latch.probe() || self.pending.load(Ordering::SeqCst) > 0 {
+                continue;
+            }
+            let _ = self
+                .event_cv
+                .wait_timeout(g, Duration::from_millis(10))
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn worker_main(self: &Arc<Self>, index: usize) {
+        WORKER.with(|w| {
+            w.set(Some(WorkerContext {
+                registry: Arc::as_ptr(self),
+                index,
+            }))
+        });
+        loop {
+            if let Some(job) = self.find_job(Some(index)) {
+                unsafe { job.execute() };
+                continue;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let g = Self::lock(&self.event_lock);
+            if self.pending.load(Ordering::SeqCst) > 0 || self.shutdown.load(Ordering::SeqCst) {
+                continue;
+            }
+            // Timed wait as a belt-and-braces guard against a missed
+            // wakeup; pushes notify under `event_lock`, so the check
+            // above cannot race with a publish.
+            let _ = self
+                .event_cv
+                .wait_timeout(g, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// TLS record marking the current thread as a pool worker.
+#[derive(Clone, Copy)]
+struct WorkerContext {
+    registry: *const Registry,
+    index: usize,
+}
+
+thread_local! {
+    static WORKER: Cell<Option<WorkerContext>> = const { Cell::new(None) };
+    /// Stack of pools entered via [`ThreadPool::install`] on non-pool
+    /// threads.
+    static INSTALLED: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// If the current thread is a worker of `registry`, its index.
+fn worker_index_in(registry: &Arc<Registry>) -> Option<usize> {
+    WORKER.with(|w| {
+        w.get()
+            .filter(|ctx| std::ptr::eq(ctx.registry, Arc::as_ptr(registry)))
+            .map(|ctx| ctx.index)
+    })
+}
+
+/// The registry parallel constructs on this thread dispatch to:
+/// the worker's own pool, else the innermost installed pool, else the
+/// global pool.
+pub(crate) fn current_registry() -> Arc<Registry> {
+    if let Some(ctx) = WORKER.with(|w| w.get()) {
+        // SAFETY: a worker thread outlives its registry Arc reference;
+        // the pointer is valid for the worker's whole life.
+        let registry = unsafe { &*ctx.registry };
+        // Re-wrap without taking ownership.
+        unsafe {
+            Arc::increment_strong_count(ctx.registry);
+            return Arc::from_raw(registry);
+        }
+    }
+    if let Some(reg) = INSTALLED.with(|s| s.borrow().last().cloned()) {
+        return reg;
+    }
+    global_pool().registry.clone()
+}
+
+// ---------------------------------------------------------------------
+// Pool handles
+// ---------------------------------------------------------------------
+
+/// Joins the workers when the last *owning* [`ThreadPool`] clone
+/// drops. Secondary handles (from [`current_pool`]) share the
+/// registry but must never tear it down — `owns_workers` is false for
+/// them and their drop is a no-op.
+struct PoolShutdown {
+    registry: Arc<Registry>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    owns_workers: bool,
+}
+
+impl Drop for PoolShutdown {
+    fn drop(&mut self) {
+        if !self.owns_workers {
+            return;
+        }
+        self.registry.shutdown.store(true, Ordering::SeqCst);
+        self.registry.notify_event();
+        for h in Self::lock_handles(&self.handles).drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl PoolShutdown {
+    fn lock_handles(
+        m: &Mutex<Vec<std::thread::JoinHandle<()>>>,
+    ) -> std::sync::MutexGuard<'_, Vec<std::thread::JoinHandle<()>>> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A handle to a work-stealing pool. Cloning shares the pool; the
+/// workers shut down when the last clone of the *owning* handle (the
+/// one [`ThreadPoolBuilder::build`] returned) drops — secondary
+/// handles from [`current_pool`] never tear the pool down.
+#[derive(Clone)]
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    _shutdown: Arc<PoolShutdown>,
+}
+
+impl ThreadPool {
+    /// Number of worker threads.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+
+    /// Run `f` with this pool as the dispatch target for every
+    /// parallel construct it (transitively) invokes on this thread.
+    ///
+    /// Divergence from rayon: `f` itself stays on the calling thread
+    /// (rayon migrates it onto a worker); only the parallel work
+    /// inside is executed by the pool. Results are identical — the
+    /// difference is which thread runs the sequential spine.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED.with(|s| s.borrow_mut().push(self.registry.clone()));
+        struct Guard;
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                INSTALLED.with(|s| {
+                    s.borrow_mut().pop();
+                });
+            }
+        }
+        let _g = Guard;
+        f()
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (shape-compatible with
+/// rayon's; building cannot actually fail here short of thread-spawn
+/// failure, which panics).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker-thread count; `0` (the default) resolves through
+    /// [`default_num_threads`] (`BLTC_HOST_THREADS` →
+    /// `RAYON_NUM_THREADS` → `available_parallelism`).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Spawn the workers.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            0 => default_num_threads(),
+            n => n,
+        }
+        .min(MAX_POOL_THREADS);
+        let registry = Arc::new(Registry::new(n));
+        let mut handles = Vec::with_capacity(n);
+        for index in 0..n {
+            let reg = Arc::clone(&registry);
+            let h = std::thread::Builder::new()
+                .name(format!("bltc-pool-{index}"))
+                .spawn(move || reg.worker_main(index))
+                .expect("failed to spawn pool worker");
+            handles.push(h);
+        }
+        Ok(ThreadPool {
+            registry: Arc::clone(&registry),
+            _shutdown: Arc::new(PoolShutdown {
+                registry,
+                handles: Mutex::new(handles),
+                owns_workers: true,
+            }),
+        })
+    }
+}
+
+/// Default worker count: `BLTC_HOST_THREADS`, else `RAYON_NUM_THREADS`,
+/// else `std::thread::available_parallelism()` (1 if unknown). Values
+/// are clamped to `1..=`[`MAX_POOL_THREADS`].
+pub fn default_num_threads() -> usize {
+    for var in [HOST_THREADS_ENV, "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n.min(MAX_POOL_THREADS);
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_POOL_THREADS)
+}
+
+fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new()
+            .build()
+            .expect("failed to build global pool")
+    })
+}
+
+/// Worker count of the pool parallel constructs on this thread would
+/// use right now.
+pub fn current_num_threads() -> usize {
+    current_registry().num_threads()
+}
+
+/// The pool parallel constructs on this thread dispatch to, as a
+/// shareable handle. `mpi-sim` captures this on the driver thread and
+/// re-installs it inside every rank thread, so SPMD rank bodies and
+/// the driver share one process-wide pool (see the session rustdoc
+/// for the pool-per-process rationale).
+pub fn current_pool() -> ThreadPool {
+    if let Some(reg) = INSTALLED.with(|s| s.borrow().last().cloned()) {
+        // Reconstruct a handle sharing the installed registry. The
+        // shutdown guard is shared through the original handle; a
+        // handle made here must keep the pool alive too, so we clone
+        // from the TLS-stored Arc and keep workers alive via the
+        // registry — the original ThreadPool's guard joins them.
+        return ThreadPool {
+            registry: Arc::clone(&reg),
+            _shutdown: keepalive_for(&reg),
+        };
+    }
+    if WORKER.with(|w| w.get()).is_some() {
+        let registry = current_registry();
+        return ThreadPool {
+            _shutdown: keepalive_for(&registry),
+            registry,
+        };
+    }
+    global_pool().clone()
+}
+
+/// A no-op shutdown guard for secondary handles: shutdown and joining
+/// are owned exclusively by the originating [`ThreadPool`]
+/// (`owns_workers: false` makes this guard's drop inert). Secondary
+/// handles only keep the registry allocation alive; if the owning
+/// handle drops first, later work on a secondary handle degrades to
+/// helping-thread execution (correct results, no pool workers).
+fn keepalive_for(registry: &Arc<Registry>) -> Arc<PoolShutdown> {
+    Arc::new(PoolShutdown {
+        registry: Arc::clone(registry),
+        handles: Mutex::new(Vec::new()),
+        owns_workers: false,
+    })
+}
+
+// ---------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------
+
+/// Run two closures, potentially in parallel, and return both results
+/// positionally — rayon's fork–join primitive.
+///
+/// `b` is published to the pool; `a` runs on the calling thread. If
+/// nobody stole `b`, the caller reclaims and runs it inline (the
+/// common, allocation-cheap path); otherwise the caller helps execute
+/// other pool jobs until `b` completes. Panics in either closure are
+/// re-raised here — after **both** halves finished, so no job ever
+/// outlives its stack frame.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = current_registry();
+    join_in(&registry, a, b)
+}
+
+pub(crate) fn join_in<A, B, RA, RB>(registry: &Arc<Registry>, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let worker = worker_index_in(registry);
+    let job_b = StackJob::new(b, registry);
+    let jref = job_b.as_job_ref();
+    match worker {
+        Some(idx) => registry.push_local(idx, jref),
+        None => registry.push_injector(jref),
+    }
+
+    // Run `a`, but never unwind before `b` is accounted for.
+    let ra = match catch_unwind(AssertUnwindSafe(a)) {
+        Ok(ra) => ra,
+        Err(payload) => {
+            finish_b(registry, worker, &job_b, jref);
+            resume_unwind(payload);
+        }
+    };
+    finish_b(registry, worker, &job_b, jref);
+    (ra, job_b.into_result())
+}
+
+/// Ensure the `b` half of a join has executed: reclaim it if still
+/// queued (running it inline), otherwise help until its latch fires.
+fn finish_b<F, R>(
+    registry: &Arc<Registry>,
+    worker: Option<usize>,
+    job: &StackJob<F, R>,
+    jref: JobRef,
+) where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    let reclaimed = match worker {
+        Some(idx) => registry.pop_specific_local(idx, jref),
+        None => registry.pop_specific_injector(jref),
+    };
+    if reclaimed {
+        unsafe { jref.execute() };
+    } else if !job.latch.probe() {
+        // Workers and non-pool threads both help while waiting (a
+        // non-pool thread may hold the only runnable continuation of
+        // a nested join); wait_helping parks on the event condvar
+        // when nothing is runnable.
+        registry.wait_helping(worker, &job.latch);
+    }
+}
+
+// ---------------------------------------------------------------------
+// scope
+// ---------------------------------------------------------------------
+
+/// A scope for spawning borrowing tasks; see [`scope`].
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    /// Outstanding tasks + the scope body itself.
+    counter: AtomicUsize,
+    /// First panic payload from a spawned task.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    latch: Latch,
+    marker: std::marker::PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task that may borrow from the enclosing scope. Tasks
+    /// always execute on pool workers (never inline), may spawn
+    /// further tasks, and complete before [`scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.counter.fetch_add(1, Ordering::SeqCst);
+        // Sendable wrapper for the scope pointer (raw pointers are not
+        // Send; the scope itself is Sync and outlives the task).
+        struct ScopePtr<'s>(*const Scope<'s>);
+        unsafe impl Send for ScopePtr<'_> {}
+        impl<'s> ScopePtr<'s> {
+            // Accessor (rather than field access) so the closure
+            // captures the Send wrapper, not the raw pointer field.
+            fn get(&self) -> *const Scope<'s> {
+                self.0
+            }
+        }
+        let self_ptr = ScopePtr(self as *const Scope<'scope>);
+        // Erase the 'scope lifetime: the scope outlives every task by
+        // construction (scope() blocks on the latch before its frame —
+        // and anything 'scope borrows — can die).
+        let body: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // SAFETY: see lifetime argument above.
+            let scope = unsafe { &*self_ptr.get() };
+            let result = catch_unwind(AssertUnwindSafe(|| f(scope)));
+            if let Err(payload) = result {
+                let mut slot = scope.panic.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+            }
+            scope.complete_one();
+        });
+        let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
+        let jref = HeapJob::into_job_ref(body);
+        match worker_index_in(&self.registry) {
+            Some(idx) => self.registry.push_local(idx, jref),
+            None => self.registry.push_injector(jref),
+        }
+    }
+
+    fn complete_one(&self) {
+        if self.counter.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // The registry reference outlives this call even if the
+            // waiting `scope()` frame (and with it this Scope) dies
+            // the instant the flag flips: `set` touches the Scope
+            // only for the atomic store, then notifies through the
+            // registry, which the executing thread keeps alive.
+            let registry: &Registry = &self.registry;
+            self.latch.set(registry);
+        }
+    }
+}
+
+/// Create a scope in which tasks borrowing local state can be spawned;
+/// blocks until every spawned task (transitively) completes. The first
+/// panic from the body or any task is re-raised after all tasks
+/// finish.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let registry = current_registry();
+    let s = Scope {
+        registry: Arc::clone(&registry),
+        counter: AtomicUsize::new(1), // the body
+        panic: Mutex::new(None),
+        latch: Latch::new(),
+        marker: std::marker::PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&s)));
+    if let Err(payload) = &result {
+        let _ = payload; // recorded below after tasks drain
+    }
+    s.complete_one();
+    if !s.latch.probe() {
+        registry.wait_helping(worker_index_in(&registry), &s.latch);
+    }
+    // Body panic wins (it is the earliest); else first task panic.
+    match result {
+        Err(payload) => resume_unwind(payload),
+        Ok(r) => {
+            let task_panic = s.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+            if let Some(payload) = task_panic {
+                resume_unwind(payload);
+            }
+            r
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Indexed parallel-for (the iterator layer's engine)
+// ---------------------------------------------------------------------
+
+/// Execute `body(i)` for every `i in 0..len`, splitting the index
+/// range over the current pool via recursive [`join`]. Output
+/// determinism is the *caller's* contract: `body` must write only to
+/// index-addressed locations (slot `i` for index `i`), which makes the
+/// result bitwise independent of thread count and steal order.
+pub fn for_each_index(len: usize, body: &(dyn Fn(usize) + Sync)) {
+    if len == 0 {
+        return;
+    }
+    let registry = current_registry();
+    let workers = registry.num_threads();
+    // Chunky leaves: enough splits for stealing to balance load
+    // (4 per worker), few enough that job overhead stays negligible.
+    let grain = (len / (workers * 4)).max(1);
+    if workers <= 1 {
+        // Degenerate pool: skip the scheduler entirely (identical
+        // results by the index-addressing contract, zero overhead).
+        for i in 0..len {
+            body(i);
+        }
+        return;
+    }
+    split_range(&registry, 0, len, grain, body);
+}
+
+fn split_range(
+    registry: &Arc<Registry>,
+    lo: usize,
+    hi: usize,
+    grain: usize,
+    body: &(dyn Fn(usize) + Sync),
+) {
+    if hi - lo <= grain {
+        for i in lo..hi {
+            body(i);
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    join_in(
+        registry,
+        || split_range(registry, lo, mid, grain, body),
+        || split_range(registry, mid, hi, grain, body),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let p = pool(2);
+        let (a, b) = p.install(|| join(|| 6 * 7, || "b"));
+        assert_eq!(a, 42);
+        assert_eq!(b, "b");
+    }
+
+    #[test]
+    fn nested_join_computes_correctly() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 8 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        let p = pool(4);
+        let total = p.install(|| sum(0, 10_000));
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn join_panic_in_b_propagates_and_pool_survives() {
+        let p = pool(2);
+        let caught = p.install(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                join(|| 1, || -> i32 { panic!("boom-b") })
+            }))
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom-b");
+        // Pool still serves jobs.
+        let (a, b) = p.install(|| join(|| 2, || 3));
+        assert_eq!((a, b), (2, 3));
+    }
+
+    #[test]
+    fn join_panic_in_a_still_waits_for_b() {
+        let p = pool(2);
+        let b_ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&b_ran);
+        let caught = p.install(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                join(
+                    || -> i32 { panic!("boom-a") },
+                    move || flag.store(true, Ordering::SeqCst),
+                )
+            }))
+        });
+        assert!(caught.is_err());
+        assert!(
+            b_ran.load(Ordering::SeqCst),
+            "b must complete before join unwinds"
+        );
+    }
+
+    #[test]
+    fn scope_tasks_run_on_workers_and_complete() {
+        let p = pool(3);
+        let ids = Mutex::new(HashSet::new());
+        let count = AtomicU64::new(0);
+        p.install(|| {
+            scope(|s| {
+                for _ in 0..16 {
+                    s.spawn(|_| {
+                        ids.lock().unwrap().insert(std::thread::current().id());
+                        count.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                // Park the caller so the workers drain the queue; the
+                // caller only *helps* once it reaches the scope wait,
+                // so after this nap every task should already be done
+                // — executed by worker threads.
+                std::thread::sleep(Duration::from_millis(300));
+            })
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 16);
+        let me = std::thread::current().id();
+        let ids = ids.lock().unwrap();
+        assert!(
+            ids.iter().any(|&id| id != me),
+            "with the caller parked, pool workers must have executed tasks"
+        );
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_more_tasks() {
+        let p = pool(2);
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        p.install(|| {
+            scope(|s| {
+                for _ in 0..4 {
+                    let c = Arc::clone(&c);
+                    s.spawn(move |s2| {
+                        c.fetch_add(1, Ordering::SeqCst);
+                        let c = Arc::clone(&c);
+                        s2.spawn(move |_| {
+                            c.fetch_add(10, Ordering::SeqCst);
+                        });
+                    });
+                }
+            })
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 44);
+    }
+
+    #[test]
+    fn scope_panic_in_task_propagates_without_deadlock() {
+        let p = pool(2);
+        let caught = p.install(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                scope(|s| {
+                    s.spawn(|_| panic!("task-boom"));
+                    s.spawn(|_| { /* healthy sibling */ });
+                })
+            }))
+        });
+        assert!(caught.is_err());
+        // Workers survived the task panic.
+        assert_eq!(p.install(|| join(|| 1, || 1)), (1, 1));
+    }
+
+    #[test]
+    fn for_each_index_covers_every_index_exactly_once() {
+        let p = pool(4);
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        p.install(|| {
+            for_each_index(n, &|i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn builder_honors_explicit_thread_count() {
+        let p = pool(7);
+        assert_eq!(p.current_num_threads(), 7);
+        assert_eq!(p.install(current_num_threads), 7);
+    }
+
+    #[test]
+    fn env_override_sets_default_size() {
+        // The only test in this crate that writes the variable; the
+        // prior value (e.g. CI's matrix setting) is restored, not
+        // erased, so the rest of the process keeps its configuration.
+        let prev = std::env::var(HOST_THREADS_ENV).ok();
+        std::env::set_var(HOST_THREADS_ENV, "3");
+        let p = ThreadPoolBuilder::new().build().unwrap();
+        match prev {
+            Some(v) => std::env::set_var(HOST_THREADS_ENV, v),
+            None => std::env::remove_var(HOST_THREADS_ENV),
+        }
+        assert_eq!(p.current_num_threads(), 3);
+        assert!(default_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        let p2 = pool(2);
+        let p5 = pool(5);
+        p2.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            p5.install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn current_pool_round_trips_installed_pool() {
+        let p = pool(3);
+        let handle = p.install(current_pool);
+        assert_eq!(handle.current_num_threads(), 3);
+        // The secondary handle dispatches to the same registry.
+        handle.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn dropping_secondary_handle_keeps_workers_alive() {
+        // Regression: a current_pool() handle going out of scope (as
+        // happens at the end of every run_spmd) must NOT shut down
+        // the originating pool's workers.
+        let p = pool(2);
+        let handle = p.install(current_pool);
+        drop(handle);
+        // Workers must still execute jobs: scope tasks never run
+        // inline before the caller starts waiting, so park the caller
+        // and check a worker picked the task up.
+        let ran_on = Mutex::new(None);
+        p.install(|| {
+            scope(|s| {
+                s.spawn(|_| {
+                    *ran_on.lock().unwrap() = Some(std::thread::current().id());
+                });
+                std::thread::sleep(Duration::from_millis(200));
+            })
+        });
+        let id = ran_on.lock().unwrap().expect("task must have run");
+        assert_ne!(
+            id,
+            std::thread::current().id(),
+            "task should have run on a still-alive worker"
+        );
+    }
+
+    #[test]
+    fn deep_join_torture() {
+        // Depth ~2^12 leaves through every scheduling path, all pool
+        // sizes; results must be identical.
+        fn build(lo: u64, hi: u64) -> Vec<u64> {
+            if hi - lo <= 4 {
+                (lo..hi).map(|x| x * x).collect()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (mut a, b) = join(|| build(lo, mid), || build(mid, hi));
+                a.extend(b);
+                a
+            }
+        }
+        let expect: Vec<u64> = (0..4096).map(|x| x * x).collect();
+        for threads in [1, 2, 7] {
+            let p = pool(threads);
+            assert_eq!(p.install(|| build(0, 4096)), expect, "{threads} threads");
+        }
+    }
+}

@@ -17,6 +17,8 @@
 //! Because `Σ_k L_k(y) = 1` in every dimension, the transform conserves
 //! total charge: `Σ_k q̂_k = Σ_j q_j` — a key test invariant.
 
+use rayon::prelude::*;
+
 use crate::interp::barycentric::{dim_eval, dim_term, phase1_factor, DimEval};
 use crate::interp::tensor::TensorGrid;
 use crate::tree::SourceTree;
@@ -33,12 +35,17 @@ pub struct ClusterCharges {
 impl ClusterCharges {
     /// Compute the tensor grids for every node and the modified charges
     /// for every node (the paper precomputes all clusters in the rank's
-    /// subtree up front, §3.2).
+    /// subtree up front, §3.2 — one OpenMP task per cluster; here one
+    /// pool task per cluster). Each node's charges depend only on that
+    /// node's particles and grid and land in that node's slot, so the
+    /// result is bitwise identical at any pool size.
     pub fn compute_all(tree: &SourceTree, degree: usize) -> Self {
         let mut s = Self::grids_only(tree, degree);
-        for idx in 0..tree.num_nodes() {
-            s.qhat[idx] = compute_node_charges(tree, &s.grids[idx], idx);
-        }
+        let grids = &s.grids;
+        s.qhat = (0..tree.num_nodes())
+            .into_par_iter()
+            .map(|idx| compute_node_charges(tree, &grids[idx], idx))
+            .collect();
         s
     }
 

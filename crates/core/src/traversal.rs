@@ -7,6 +7,8 @@
 //! and lets the distributed code run the same traversal against *remote*
 //! tree skeletons during LET construction (§3.1).
 
+use rayon::prelude::*;
+
 use crate::config::BltcParams;
 use crate::mac::{Mac, MacDecision};
 use crate::tree::{batch::TargetBatches, SourceTree};
@@ -37,12 +39,16 @@ pub struct InteractionLists {
 }
 
 impl InteractionLists {
-    /// Run the traversal for every batch.
+    /// Run the traversal for every batch — one pool task per batch
+    /// (the paper's OpenMP-parallel list construction). Each batch's
+    /// lists depend only on that batch's geometry and are collected
+    /// into that batch's slot, so the result is bitwise identical at
+    /// any pool size.
     pub fn build(batches: &TargetBatches, tree: &SourceTree, params: &BltcParams) -> Self {
         let mac = Mac::new(params);
         let per_batch = batches
             .batches()
-            .iter()
+            .par_iter()
             .map(|b| {
                 let mut lists = BatchLists::default();
                 traverse(&mac, b.center, b.radius, tree, tree.root(), &mut lists);

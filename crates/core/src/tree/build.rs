@@ -8,6 +8,8 @@
 //! dimensions with extent `> max_extent / √2` are split (the paper's
 //! aspect-ratio rule, which yields 2-, 4- or 8-way splits).
 
+use rayon::prelude::*;
+
 use crate::geometry::BoundingBox;
 use crate::particles::ParticleSet;
 
@@ -160,7 +162,35 @@ fn bbox_of(ps: &ParticleSet, idx: &[usize]) -> BoundingBox {
     bbox_of_range(ps, idx)
 }
 
+/// Ranges at least this large compute their bounding box as a chunked
+/// parallel reduction. `min`/`max` are exact and order-insensitive, so
+/// the parallel box is bitwise identical to the serial scan; the chunk
+/// size is fixed (independent of the pool), keeping even the work
+/// split deterministic.
+const PAR_BBOX_THRESHOLD: usize = 16_384;
+const PAR_BBOX_CHUNK: usize = 4_096;
+
 fn bbox_of_range(ps: &ParticleSet, idx: &[usize]) -> BoundingBox {
+    if idx.len() >= PAR_BBOX_THRESHOLD {
+        let partials: Vec<([f64; 3], [f64; 3])> = idx
+            .par_chunks(PAR_BBOX_CHUNK)
+            .map(|chunk| scan_min_max(ps, chunk))
+            .collect();
+        let mut min = [f64::INFINITY; 3];
+        let mut max = [f64::NEG_INFINITY; 3];
+        for (pmin, pmax) in partials {
+            for d in 0..3 {
+                min[d] = min[d].min(pmin[d]);
+                max[d] = max[d].max(pmax[d]);
+            }
+        }
+        return bbox_from(min, max);
+    }
+    let (min, max) = scan_min_max(ps, idx);
+    bbox_from(min, max)
+}
+
+fn scan_min_max(ps: &ParticleSet, idx: &[usize]) -> ([f64; 3], [f64; 3]) {
     let mut min = [f64::INFINITY; 3];
     let mut max = [f64::NEG_INFINITY; 3];
     for &j in idx {
@@ -170,6 +200,10 @@ fn bbox_of_range(ps: &ParticleSet, idx: &[usize]) -> BoundingBox {
             max[d] = max[d].max(p[d]);
         }
     }
+    (min, max)
+}
+
+fn bbox_from(min: [f64; 3], max: [f64; 3]) -> BoundingBox {
     BoundingBox::new(
         crate::geometry::Point3::new(min[0], min[1], min[2]),
         crate::geometry::Point3::new(max[0], max[1], max[2]),

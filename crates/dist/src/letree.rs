@@ -12,6 +12,8 @@
 
 use std::collections::BTreeMap;
 
+use rayon::prelude::*;
+
 use bltc_core::config::BltcParams;
 use bltc_core::cost::OpCounts;
 use bltc_core::geometry::{BoundingBox, Point3};
@@ -166,26 +168,36 @@ pub(crate) fn build_remote_let(
     tally.record((num_nodes * std::mem::size_of::<NodeMeta>()) as u64, false);
     let nodes: Vec<ClusterNode> = metas.into_iter().map(NodeMeta::to_cluster).collect();
 
-    // Local traversal against the remote skeleton: no communication.
+    // Local traversal against the remote skeleton: no communication —
+    // one pool task per batch (the paper's OpenMP-parallel LET
+    // traversal). Each batch's lists land in that batch's slot, and
+    // the distinct-cluster sets are ordered (BTreeSet) and built from
+    // the per-batch lists afterwards, so both the lists and the fetch
+    // order below are bitwise independent of the pool size.
     let mac = Mac::new(params);
-    let mut per_batch = Vec::with_capacity(batches.len());
+    let per_batch: Vec<(Vec<u32>, Vec<u32>)> = batches
+        .batches()
+        .par_iter()
+        .map(|b| {
+            let mut approx = Vec::new();
+            let mut direct = Vec::new();
+            traverse_remote(
+                &mac,
+                b.center,
+                b.radius,
+                &nodes,
+                0,
+                &mut approx,
+                &mut direct,
+            );
+            (approx, direct)
+        })
+        .collect();
     let mut approx_set = std::collections::BTreeSet::new();
     let mut direct_set = std::collections::BTreeSet::new();
-    for b in batches.batches() {
-        let mut approx = Vec::new();
-        let mut direct = Vec::new();
-        traverse_remote(
-            &mac,
-            b.center,
-            b.radius,
-            &nodes,
-            0,
-            &mut approx,
-            &mut direct,
-        );
+    for (approx, direct) in &per_batch {
         approx_set.extend(approx.iter().copied());
         direct_set.extend(direct.iter().copied());
-        per_batch.push((approx, direct));
     }
 
     // Fetch modified charges for every distinct MAC-accepted cluster
@@ -252,38 +264,60 @@ pub(crate) fn eval_remote_into(
     device_bytes: &mut f64,
 ) {
     let tp = batches.particles();
-    for (b, (approx, direct)) in batches.batches().iter().zip(&let_view.per_batch) {
-        let nb = b.num_targets();
-        for &ci in approx {
-            let grid = &let_view.grids[&ci];
-            let qh = &let_view.qhat[&ci];
-            for (t, slot) in (b.start..b.end).zip(out[b.start..b.end].iter_mut()) {
-                let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
-                let mut acc = 0.0;
-                for (k, &q) in qh.iter().enumerate() {
-                    let s = grid.point_linear(k);
-                    acc += kernel.eval(tx - s.x, ty - s.y, tz - s.z) * q;
+    // One pool task per batch: each computes this LET's contribution to
+    // its own (disjoint) target range plus its op/byte tallies, starting
+    // from zero. The merge below runs in fixed batch order, so both the
+    // potentials and the modeled clocks are bitwise independent of the
+    // pool size (the byte tallies are integer-valued f64s — exact under
+    // any summation order — and the op counts are integers).
+    let partial: Vec<(Vec<f64>, OpCounts, f64)> = batches
+        .batches()
+        .par_iter()
+        .zip(&let_view.per_batch)
+        .map(|(b, (approx, direct))| {
+            let nb = b.num_targets();
+            let mut vals = vec![0.0; nb];
+            let mut bops = OpCounts::default();
+            let mut bbytes = 0.0;
+            for &ci in approx {
+                let grid = &let_view.grids[&ci];
+                let qh = &let_view.qhat[&ci];
+                for (t, slot) in (b.start..b.end).zip(vals.iter_mut()) {
+                    let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
+                    let mut acc = 0.0;
+                    for (k, &q) in qh.iter().enumerate() {
+                        let s = grid.point_linear(k);
+                        acc += kernel.eval(tx - s.x, ty - s.y, tz - s.z) * q;
+                    }
+                    *slot += acc;
                 }
-                *slot += acc;
+                bops.approx_interactions += (nb * qh.len()) as u64;
+                bops.kernel_launches += 1;
+                bbytes += ((nb * 4 + qh.len() * 4) * 8) as f64;
             }
-            ops.approx_interactions += (nb * qh.len()) as u64;
-            ops.kernel_launches += 1;
-            *device_bytes += ((nb * 4 + qh.len() * 4) * 8) as f64;
-        }
-        for &ci in direct {
-            let p = &let_view.parts[&ci];
-            for (t, slot) in (b.start..b.end).zip(out[b.start..b.end].iter_mut()) {
-                let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
-                let mut acc = 0.0;
-                for j in 0..p.x.len() {
-                    acc += kernel.eval(tx - p.x[j], ty - p.y[j], tz - p.z[j]) * p.q[j];
+            for &ci in direct {
+                let p = &let_view.parts[&ci];
+                for (t, slot) in (b.start..b.end).zip(vals.iter_mut()) {
+                    let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
+                    let mut acc = 0.0;
+                    for j in 0..p.x.len() {
+                        acc += kernel.eval(tx - p.x[j], ty - p.y[j], tz - p.z[j]) * p.q[j];
+                    }
+                    *slot += acc;
                 }
-                *slot += acc;
+                bops.direct_interactions += (nb * p.x.len()) as u64;
+                bops.kernel_launches += 1;
+                bbytes += ((nb * 4 + p.x.len() * 4) * 8) as f64;
             }
-            ops.direct_interactions += (nb * p.x.len()) as u64;
-            ops.kernel_launches += 1;
-            *device_bytes += ((nb * 4 + p.x.len() * 4) * 8) as f64;
+            (vals, bops, bbytes)
+        })
+        .collect();
+    for (b, (vals, bops, bbytes)) in batches.batches().iter().zip(&partial) {
+        for (slot, v) in out[b.start..b.end].iter_mut().zip(vals) {
+            *slot += v;
         }
+        *ops = ops.merged(bops);
+        *device_bytes += bbytes;
     }
 }
 
@@ -310,52 +344,80 @@ pub(crate) fn eval_remote_field_into(
     device_bytes: &mut f64,
 ) {
     let tp = batches.particles();
-    for (b, (approx, direct)) in batches.batches().iter().zip(&let_view.per_batch) {
-        let nb = b.num_targets();
-        for &ci in approx {
-            let grid = &let_view.grids[&ci];
-            let qh = &let_view.qhat[&ci];
-            for t in b.start..b.end {
-                let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
-                let (mut p, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
-                for (k, &q) in qh.iter().enumerate() {
-                    let s = grid.point_linear(k);
-                    let (g, dgx, dgy, dgz) = kernel.eval_with_grad(tx - s.x, ty - s.y, tz - s.z);
-                    p += g * q;
-                    ax += dgx * q;
-                    ay += dgy * q;
-                    az += dgz * q;
+    // Same parallel shape as [`eval_remote_into`]: per-batch partials
+    // over disjoint target ranges, merged in fixed batch order.
+    type FieldPartial = ([Vec<f64>; 4], OpCounts, f64);
+    let partial: Vec<FieldPartial> = batches
+        .batches()
+        .par_iter()
+        .zip(&let_view.per_batch)
+        .map(|(b, (approx, direct))| {
+            let nb = b.num_targets();
+            let mut vals = [vec![0.0; nb], vec![0.0; nb], vec![0.0; nb], vec![0.0; nb]];
+            let mut bops = OpCounts::default();
+            let mut bbytes = 0.0;
+            for &ci in approx {
+                let grid = &let_view.grids[&ci];
+                let qh = &let_view.qhat[&ci];
+                for (i, t) in (b.start..b.end).enumerate() {
+                    let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
+                    let (mut p, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
+                    for (k, &q) in qh.iter().enumerate() {
+                        let s = grid.point_linear(k);
+                        let (g, dgx, dgy, dgz) =
+                            kernel.eval_with_grad(tx - s.x, ty - s.y, tz - s.z);
+                        p += g * q;
+                        ax += dgx * q;
+                        ay += dgy * q;
+                        az += dgz * q;
+                    }
+                    vals[0][i] += p;
+                    vals[1][i] += ax;
+                    vals[2][i] += ay;
+                    vals[3][i] += az;
                 }
-                pot[t] += p;
-                gx[t] += ax;
-                gy[t] += ay;
-                gz[t] += az;
+                bops.approx_interactions += (nb * qh.len()) as u64;
+                bops.kernel_launches += 1;
+                bbytes += ((nb * 7 + qh.len() * 4) * 8) as f64;
             }
-            ops.approx_interactions += (nb * qh.len()) as u64;
-            ops.kernel_launches += 1;
-            *device_bytes += ((nb * 7 + qh.len() * 4) * 8) as f64;
-        }
-        for &ci in direct {
-            let p = &let_view.parts[&ci];
-            for t in b.start..b.end {
-                let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
-                let (mut acc, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
-                for j in 0..p.x.len() {
-                    let (g, dgx, dgy, dgz) =
-                        kernel.eval_with_grad(tx - p.x[j], ty - p.y[j], tz - p.z[j]);
-                    acc += g * p.q[j];
-                    ax += dgx * p.q[j];
-                    ay += dgy * p.q[j];
-                    az += dgz * p.q[j];
+            for &ci in direct {
+                let p = &let_view.parts[&ci];
+                for (i, t) in (b.start..b.end).enumerate() {
+                    let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
+                    let (mut acc, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
+                    for j in 0..p.x.len() {
+                        let (g, dgx, dgy, dgz) =
+                            kernel.eval_with_grad(tx - p.x[j], ty - p.y[j], tz - p.z[j]);
+                        acc += g * p.q[j];
+                        ax += dgx * p.q[j];
+                        ay += dgy * p.q[j];
+                        az += dgz * p.q[j];
+                    }
+                    vals[0][i] += acc;
+                    vals[1][i] += ax;
+                    vals[2][i] += ay;
+                    vals[3][i] += az;
                 }
-                pot[t] += acc;
-                gx[t] += ax;
-                gy[t] += ay;
-                gz[t] += az;
+                bops.direct_interactions += (nb * p.x.len()) as u64;
+                bops.kernel_launches += 1;
+                bbytes += ((nb * 7 + p.x.len() * 4) * 8) as f64;
             }
-            ops.direct_interactions += (nb * p.x.len()) as u64;
-            ops.kernel_launches += 1;
-            *device_bytes += ((nb * 7 + p.x.len() * 4) * 8) as f64;
+            (vals, bops, bbytes)
+        })
+        .collect();
+    for (b, (vals, bops, bbytes)) in batches.batches().iter().zip(&partial) {
+        let r = b.start..b.end;
+        for (dst, src) in [
+            (&mut pot[r.clone()], &vals[0]),
+            (&mut gx[r.clone()], &vals[1]),
+            (&mut gy[r.clone()], &vals[2]),
+            (&mut gz[r], &vals[3]),
+        ] {
+            for (slot, v) in dst.iter_mut().zip(src.iter()) {
+                *slot += v;
+            }
         }
+        *ops = ops.merged(bops);
+        *device_bytes += bbytes;
     }
 }

@@ -253,6 +253,18 @@ pub struct SpmdResult<R> {
 /// collective calls (barriers, window creations, gathers) in the same
 /// order — the SPMD discipline MPI itself requires.
 ///
+/// ## Host-pool inheritance (pool-per-process)
+///
+/// Rank threads are fresh OS threads and would otherwise dispatch any
+/// shared-memory parallelism (`rayon` in the rank body) to the global
+/// pool regardless of what the driver selected. Instead, the driver's
+/// current pool is captured here and installed inside every rank
+/// thread for the duration of the closure: all ranks share **one**
+/// process-wide pool (a pool per rank would oversubscribe the host at
+/// `ranks × workers` threads). Rank threads additionally *help* the
+/// pool while waiting on their own parallel regions, so even a
+/// 1-worker pool makes progress under any rank count.
+///
 /// # Panics
 ///
 /// Panics if `n_ranks == 0`, or propagates the first rank panic after
@@ -268,14 +280,18 @@ where
 {
     assert!(n_ranks > 0, "need at least one rank");
     let world = Arc::new(World::new(n_ranks));
+    let pool = rayon::current_pool();
     let outcomes: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_ranks)
             .map(|rank| {
                 let world = Arc::clone(&world);
                 let f = &f;
+                let pool = pool.clone();
                 scope.spawn(move || {
                     let comm = crate::Comm::new(rank, Arc::clone(&world));
-                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        pool.install(|| f(comm))
+                    }));
                     if out.is_err() {
                         world.barrier.poison(rank);
                     }

@@ -37,6 +37,17 @@
 //!   (see [`crate::runtime::run_spmd`]); surviving ranks fail fast, the
 //!   original payload is re-raised from `run_epoch`, and the rank
 //!   threads survive to reject later epochs with the same clear error.
+//! - **Host pool (pool-per-process):** the driver's current `rayon`
+//!   pool is captured **once** at [`Session::spawn`] and re-installed
+//!   inside each rank thread *per epoch* — the install guard lives
+//!   exactly as long as the epoch closure, so no rank holds a pool
+//!   guard across epochs (a guard pinned across the rendezvous would
+//!   keep the driver's pool selection frozen in a rank even after the
+//!   driver switched pools, and would keep a dropped pool alive for
+//!   the session's whole life). All ranks share that one pool: a
+//!   pool per rank would put `ranks × workers` runnable threads on
+//!   the host — the oversubscription the shared pool exists to avoid.
+//!   See [`crate::host_pool_workers`] for the sizing policy.
 //!
 //! ## Example
 //!
@@ -112,11 +123,15 @@ impl Session {
         let (result_tx, collect) = channel::<RankOutcome>();
         let mut submit = Vec::with_capacity(n_ranks);
         let mut handles = Vec::with_capacity(n_ranks);
+        // Captured once here; installed per epoch below (see the
+        // module docs' pool-per-process paragraph).
+        let pool = rayon::current_pool();
         for rank in 0..n_ranks {
             let (tx, rx) = channel::<EpochFn>();
             submit.push(tx);
             let world = Arc::clone(&world);
             let result_tx = result_tx.clone();
+            let pool = pool.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("spmd-rank-{rank}"))
                 .spawn(move || {
@@ -124,7 +139,10 @@ impl Session {
                     // counter — lives for the whole session.
                     let comm = Comm::new(rank, Arc::clone(&world));
                     while let Ok(job) = rx.recv() {
-                        let out = catch_unwind(AssertUnwindSafe(|| job(&comm)));
+                        // The install guard is scoped to this one
+                        // epoch; between epochs the rank thread holds
+                        // only the cloned pool handle.
+                        let out = catch_unwind(AssertUnwindSafe(|| pool.install(|| job(&comm))));
                         if out.is_err() {
                             world.barrier.poison(rank);
                         }
@@ -389,6 +407,81 @@ mod tests {
         let rep = s.run_epoch(|comm| comm.all_reduce_max(4.5));
         assert_eq!(rep.results, vec![4.5]);
         assert_eq!(s.size(), 1);
+    }
+
+    #[test]
+    fn epochs_inherit_the_drivers_pool() {
+        use rayon::prelude::*;
+        // Spawn the session *inside* a 3-worker pool's install scope:
+        // every epoch's parallel work must dispatch to that pool, not
+        // the global one, and concurrent per-rank parallel regions on
+        // the shared pool must not deadlock — across several epochs.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let mut s = pool.install(|| Session::spawn(4));
+        for _ in 0..3 {
+            let rep = s.run_epoch(|comm| {
+                let threads = rayon::current_num_threads();
+                let rank = comm.rank() as u64;
+                let sum: u64 = (0..1000u64)
+                    .into_par_iter()
+                    .map(|i| i + rank)
+                    .collect::<Vec<_>>()
+                    .iter()
+                    .sum();
+                comm.barrier();
+                (threads, sum)
+            });
+            for (rank, &(threads, sum)) in rep.results.iter().enumerate() {
+                assert_eq!(threads, 3, "rank {rank} not on the driver's pool");
+                assert_eq!(sum, (0..1000u64).sum::<u64>() + 1000 * rank as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn run_spmd_ranks_share_installed_pool() {
+        use rayon::prelude::*;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let out = pool.install(|| {
+            crate::run_spmd(3, |comm| {
+                let v: Vec<usize> = (0..64usize).into_par_iter().map(|i| i * 2).collect();
+                comm.barrier();
+                (rayon::current_num_threads(), v[63])
+            })
+        });
+        for &(threads, last) in &out.results {
+            assert_eq!(threads, 2);
+            assert_eq!(last, 126);
+        }
+    }
+
+    #[test]
+    fn host_pool_workers_policy() {
+        // Exercised through the pure core so the test never mutates
+        // process-global environment (CI pins BLTC_HOST_THREADS for
+        // the whole suite; tests must not race with or erase it).
+        let w = crate::host_pool_workers_with;
+        // Env override wins, even oversubscribed; insane values clamp.
+        assert_eq!(w(Some(6), 4, 1), 6);
+        assert_eq!(w(Some(100_000), 2, 8), rayon::MAX_POOL_THREADS);
+        // Guarded default: never zero, never above the hardware
+        // parallelism, monotonically non-increasing in rank count.
+        for avail in [1usize, 4, 64] {
+            let w1 = w(None, 1, avail);
+            let w8 = w(None, 8, avail);
+            assert_eq!(w1, avail);
+            assert!((1..=w1).contains(&w8));
+            assert_eq!(w(None, usize::MAX, avail), 1);
+        }
+        // The env-reading wrapper agrees with the policy's bounds.
+        let got = crate::host_pool_workers(2);
+        assert!((1..=rayon::MAX_POOL_THREADS).contains(&got));
     }
 
     #[test]
