@@ -15,19 +15,147 @@
 //! ```text
 //! cargo run --release --bin ablation_streams [-- --n 20000]
 //! ```
+//!
+//! ## Multi-rank mode
+//!
+//! With `--multi` (or `--smoke`, its CI-sized variant) the harness
+//! additionally sweeps the **distributed** pipelined epoch: stream
+//! count × batch capacity × rank count on a fixed total problem
+//! (fig6-strong style), comparing the serial per-phase sum against the
+//! pipelined critical path in which LET chunks land while local batches
+//! evaluate and remote batches dispatch onto the simulated streams.
+//! Potentials are asserted bitwise identical across every stream count
+//! (streams move only the clock) and `pipelined ≤ serial` is asserted
+//! on every configuration. Results land in `--out` (default
+//! `BENCH_pipeline.json`) for the perf trajectory.
+//!
+//! ```text
+//! cargo run --release --bin ablation_streams -- --multi [--n 16000]
+//! cargo run --release --bin ablation_streams -- --smoke   # CI-sized
+//! ```
 
 use bltc_bench::{sci, Args};
 use bltc_core::kernel::{Coulomb, Kernel, Yukawa};
 use bltc_core::prelude::*;
+use bltc_dist::{run_distributed, DistConfig};
 use bltc_gpu::GpuEngine;
 use gpu_sim::DeviceSpec;
 
+/// One multi-rank sweep point: serial vs pipelined modeled seconds.
+struct Row {
+    ranks: usize,
+    streams: usize,
+    cap: usize,
+    serial_s: f64,
+    pipelined_s: f64,
+}
+
+impl Row {
+    fn win_pct(&self) -> f64 {
+        100.0 * (1.0 - self.pipelined_s / self.serial_s)
+    }
+}
+
 fn main() {
     let args = Args::from_env();
-    let n = args.usize("n", 20_000);
+    let smoke = args.flag("smoke");
+    let multi = args.flag("multi") || smoke;
+    let n = args.usize("n", if smoke { 6_000 } else { 20_000 });
     let theta = args.f64("theta", 0.7);
     let degree = args.usize("degree", 5);
     let seed = args.usize("seed", 17) as u64;
+
+    if !multi {
+        single_gpu(n, theta, degree, seed);
+        return;
+    }
+
+    let out_path = args
+        .get_opt("out")
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let ranks_list: Vec<usize> = args
+        .get_opt("ranks")
+        .unwrap_or_else(|| "1,2,4".to_string())
+        .split(',')
+        .map(|s| s.trim().parse().expect("bad --ranks entry"))
+        .collect();
+    let caps = [256usize, 1024];
+    let max_streams = 4usize;
+    let ps = ParticleSet::random_cube(n, seed);
+
+    println!(
+        "Async-stream ablation, multi-rank pipelined epoch — N = {n}, θ = {theta}, n = {degree}"
+    );
+    println!("ranks {ranks_list:?} × streams 1..={max_streams} × N_B {caps:?}, Coulomb\n");
+    println!("  N_B  ranks  streams    serial(s)  pipelined(s)   win vs serial");
+
+    let mut rows = Vec::new();
+    for &cap in &caps {
+        let params = BltcParams::new(theta, degree, cap, cap);
+        for &ranks in &ranks_list {
+            let mut reference: Option<Vec<f64>> = None;
+            for streams in 1..=max_streams {
+                let mut cfg = DistConfig::comet(params);
+                cfg.streams = streams;
+                let rep = run_distributed(&ps, ranks, &cfg, &Coulomb);
+                // Streams are a clock-model knob: the evaluation itself
+                // must not move.
+                match &reference {
+                    None => reference = Some(rep.potentials.clone()),
+                    Some(r) => assert!(
+                        r.iter()
+                            .zip(&rep.potentials)
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "potentials diverged bitwise across stream counts"
+                    ),
+                }
+                assert!(
+                    rep.pipelined_s <= rep.total_s,
+                    "pipelined critical path exceeded the serial sum"
+                );
+                let row = Row {
+                    ranks,
+                    streams,
+                    cap,
+                    serial_s: rep.total_s,
+                    pipelined_s: rep.pipelined_s,
+                };
+                println!(
+                    "{cap:>5}  {ranks:>5}  {streams:>7}  {:>11}  {:>12}  {:>13.1}%",
+                    sci(row.serial_s),
+                    sci(row.pipelined_s),
+                    row.win_pct()
+                );
+                rows.push(row);
+            }
+        }
+        println!();
+    }
+
+    let best = rows
+        .iter()
+        .filter(|r| r.streams >= 2 && r.ranks > 1)
+        .max_by(|a, b| a.win_pct().total_cmp(&b.win_pct()))
+        .expect("sweep produced no multi-rank rows");
+    println!(
+        "best multi-rank critical-path win at ≥2 streams: {:.1}% \
+         (N_B = {}, {} ranks, {} streams)",
+        best.win_pct(),
+        best.cap,
+        best.ranks,
+        best.streams
+    );
+    println!(
+        "(potentials bitwise identical across all stream counts; pipelined ≤ serial everywhere)"
+    );
+
+    let json = render_json(&rows, n, theta, degree, smoke);
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+}
+
+/// The original single-GPU §3.2 ablation (default mode).
+fn single_gpu(n: usize, theta: f64, degree: usize, seed: u64) {
     let ps = ParticleSet::random_cube(n, seed);
     let spec = DeviceSpec::titan_v();
 
@@ -66,4 +194,29 @@ fn main() {
     println!("The large-batch row (true batch population ~2500, exec ≈ 3x launch");
     println!("latency) reproduces that regime; small batches are launch-bound and");
     println!("gain the full 4x — which is why the paper batches thousands of targets.");
+}
+
+fn render_json(rows: &[Row], n: usize, theta: f64, degree: usize, smoke: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"ablation_streams_multirank\",\n");
+    s.push_str(&format!(
+        "  \"n\": {n},\n  \"theta\": {theta},\n  \"degree\": {degree},\n  \"smoke\": {smoke},\n"
+    ));
+    s.push_str("  \"bitwise_identical_across_streams\": true,\n");
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"cap\": {}, \"ranks\": {}, \"streams\": {}, \
+             \"serial_s\": {:.9e}, \"pipelined_s\": {:.9e}, \"win_pct\": {:.2}}}{}\n",
+            r.cap,
+            r.ranks,
+            r.streams,
+            r.serial_s,
+            r.pipelined_s,
+            r.win_pct(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
 }

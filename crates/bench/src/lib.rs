@@ -8,7 +8,7 @@
 //! | `fig4_accuracy`    | Fig. 4 — run time vs error, CPU vs GPU, Coulomb & Yukawa |
 //! | `fig5_weak`        | Fig. 5 — weak scaling, 1→32 GPUs |
 //! | `fig6_strong`      | Fig. 6 — strong scaling + phase breakdown |
-//! | `ablation_streams` | §3.2 — async-stream ablation (~25% claim) |
+//! | `ablation_streams` | §3.2 — async-stream ablation (~25% claim); `--multi` adds the multi-rank pipelined-epoch sweep |
 //! | `dynamics_steps`   | time-per-step scaling of the `bltc-sim` driver, 1→8 ranks |
 //! | `dynamics_persistent` | respawn-per-step vs persistent-session amortization, 1→8 ranks |
 //! | `host_parallel`    | **wall-clock** host-phase scaling over the work-stealing pool |

@@ -9,6 +9,16 @@
 //! remote node geometry, and fetches exactly the data the traversal
 //! demands — modified charges for MAC-accepted clusters, raw particles
 //! for near/undersized clusters. No remote rank takes any action.
+//!
+//! Assembly is staged so a pipelined epoch can overlap the fill with
+//! local work: **issue** ([`issue_remote_let`]) fetches the skeleton and
+//! runs the traversal, **plan** ([`plan_chunks`]) groups the demanded
+//! clusters into fetch chunks with exact per-chunk cost metadata, and
+//! **land** ([`land_remote_let`]) executes the chunks' gets — in the
+//! same per-cluster order the monolithic fill used, so staging changes
+//! neither the fetched bytes nor the recorded traffic. The **consume**
+//! stage is the unchanged evaluation ([`eval_remote_into`] /
+//! [`eval_remote_field_into`]).
 
 use std::collections::BTreeMap;
 
@@ -148,24 +158,41 @@ fn traverse_remote(
     }
 }
 
-/// Build this rank's LET view of `target` rank's tree: fetch the
-/// skeleton, traverse, then fetch exactly the demanded charges and
-/// particles — all within passive-target epochs on `target`.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn build_remote_let(
+/// The **issue** stage of LET assembly against one remote rank: fetch
+/// the skeleton (one bulk one-sided get), run the local batch-MAC
+/// traversal against it, and derive the distinct cluster sets the
+/// consume stage will need — but fetch no payload data yet. What used to
+/// be the front half of a monolithic `build_remote_let` now stands alone
+/// so the payload gets can be issued in chunks and overlapped with local
+/// work.
+pub(crate) struct LetIssue {
+    /// Remote rank whose tree this LET views.
+    pub target: usize,
+    /// Reconstructed remote skeleton.
+    pub nodes: Vec<ClusterNode>,
+    /// Per-local-batch interaction lists (approx ids, direct ids).
+    pub per_batch: Vec<(Vec<u32>, Vec<u32>)>,
+    /// Distinct MAC-accepted clusters, ascending.
+    pub approx: Vec<u32>,
+    /// Distinct direct clusters, ascending.
+    pub direct: Vec<u32>,
+    /// Payload bytes of the skeleton get (host-side metadata; never
+    /// staged to the device).
+    pub skeleton_bytes: u64,
+}
+
+pub(crate) fn issue_remote_let(
     target: usize,
     batches: &TargetBatches,
     params: &BltcParams,
     meta_win: &Window<NodeMeta>,
-    part_win: &Window<f64>,
-    qhat_win: &Window<f64>,
-    m3: usize,
     tally: &mut CommTally,
-) -> RemoteLet {
+) -> LetIssue {
     // Skeleton exchange: one bulk one-sided get of the node array.
     let num_nodes = meta_win.region_len(target);
     let metas = meta_win.lock_shared(target).get(0..num_nodes);
-    tally.record((num_nodes * std::mem::size_of::<NodeMeta>()) as u64, false);
+    let skeleton_bytes = (num_nodes * std::mem::size_of::<NodeMeta>()) as u64;
+    tally.record(skeleton_bytes, false);
     let nodes: Vec<ClusterNode> = metas.into_iter().map(NodeMeta::to_cluster).collect();
 
     // Local traversal against the remote skeleton: no communication —
@@ -200,48 +227,200 @@ pub(crate) fn build_remote_let(
         direct_set.extend(direct.iter().copied());
     }
 
-    // Fetch modified charges for every distinct MAC-accepted cluster
-    // (one epoch, one get per cluster — the paper's LET fill).
-    let mut qhat = BTreeMap::new();
-    let mut grids = BTreeMap::new();
-    {
-        let guard = qhat_win.lock_shared(target);
-        for &ni in &approx_set {
-            let base = ni as usize * m3;
-            qhat.insert(ni, guard.get(base..base + m3));
-            tally.record((m3 * 8) as u64, true);
-            grids.insert(ni, TensorGrid::new(params.degree, &nodes[ni as usize].bbox));
+    LetIssue {
+        target,
+        nodes,
+        per_batch,
+        approx: approx_set.into_iter().collect(),
+        direct: direct_set.into_iter().collect(),
+        skeleton_bytes,
+    }
+}
+
+/// The retained fetch schedule of one LET: what the pipelined clock
+/// needs after the land stage has consumed the [`LetIssue`].
+pub(crate) struct LetPlan {
+    /// Remote rank this LET views.
+    pub target: usize,
+    /// Skeleton payload bytes (one host-side get).
+    pub skeleton_bytes: u64,
+    /// Payload chunks in land order.
+    pub chunks: Vec<ChunkPlan>,
+}
+
+/// Which payload window a chunk's gets hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChunkKind {
+    /// Modified charges of MAC-accepted clusters.
+    Approx,
+    /// Raw particles of direct clusters.
+    Direct,
+}
+
+/// One chunk of the LET fill: a contiguous group of distinct clusters
+/// whose payloads are fetched in one passive-target epoch, plus the
+/// exact communication and evaluation work the chunk carries. Every
+/// count is derived analytically from the interaction lists, so the
+/// per-chunk costs sum to exactly the totals the serial accounting
+/// records — the reconciliation the pipelined clock's tests pin.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChunkPlan {
+    pub kind: ChunkKind,
+    /// Start index into [`LetIssue::approx`] / [`LetIssue::direct`].
+    pub first: usize,
+    /// Clusters in the chunk.
+    pub len: usize,
+    /// One-sided gets the chunk issues (one per cluster).
+    pub messages: u64,
+    /// Payload bytes fetched (all staged onto the device).
+    pub bytes: u64,
+    /// Remote particles fetched (direct chunks; 0 for approx chunks).
+    pub fetched_particles: u64,
+    /// Batch–cluster kernel launches evaluating against the chunk.
+    pub launches: u64,
+    /// Σ batch targets over those launches.
+    pub eval_targets: u64,
+    /// Σ source count (proxies or particles) over those launches.
+    pub eval_sources: u64,
+    /// Σ targets × sources — approx or direct interactions per
+    /// [`ChunkPlan::kind`].
+    pub interactions: u64,
+}
+
+/// The **plan** stage: group the distinct clusters of one LET into fetch
+/// chunks of at most `chunk_clusters` clusters (approx chunks first,
+/// then direct, both ascending — the same order the monolithic fill
+/// used) and precompute each chunk's communication payload and
+/// evaluation work from the per-batch interaction lists.
+pub(crate) fn plan_chunks(
+    issue: &LetIssue,
+    batches: &TargetBatches,
+    m3: usize,
+    chunk_clusters: usize,
+) -> Vec<ChunkPlan> {
+    // Per-cluster (launches, Σ batch targets) over the interaction lists.
+    let mut approx_use: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    let mut direct_use: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    for (b, (approx, direct)) in batches.batches().iter().zip(&issue.per_batch) {
+        let nb = b.num_targets() as u64;
+        for &ci in approx {
+            let e = approx_use.entry(ci).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += nb;
+        }
+        for &ci in direct {
+            let e = direct_use.entry(ci).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += nb;
         }
     }
 
-    // Fetch raw particles for every distinct direct cluster.
-    let mut parts = BTreeMap::new();
-    {
-        let guard = part_win.lock_shared(target);
-        for &ni in &direct_set {
-            let node = &nodes[ni as usize];
-            let flat = guard.get(4 * node.start..4 * node.end);
-            tally.record((flat.len() * 8) as u64, true);
-            let nc = node.end - node.start;
-            let mut p = RemoteParticles {
-                x: Vec::with_capacity(nc),
-                y: Vec::with_capacity(nc),
-                z: Vec::with_capacity(nc),
-                q: Vec::with_capacity(nc),
+    let chunk_clusters = chunk_clusters.max(1);
+    let mut plans = Vec::new();
+    for (kind, ids) in [
+        (ChunkKind::Approx, &issue.approx),
+        (ChunkKind::Direct, &issue.direct),
+    ] {
+        for (gi, group) in ids.chunks(chunk_clusters).enumerate() {
+            let mut plan = ChunkPlan {
+                kind,
+                first: gi * chunk_clusters,
+                len: group.len(),
+                messages: 0,
+                bytes: 0,
+                fetched_particles: 0,
+                launches: 0,
+                eval_targets: 0,
+                eval_sources: 0,
+                interactions: 0,
             };
-            for j in 0..nc {
-                p.x.push(flat[4 * j]);
-                p.y.push(flat[4 * j + 1]);
-                p.z.push(flat[4 * j + 2]);
-                p.q.push(flat[4 * j + 3]);
+            for &ci in group {
+                let (src, payload) = match kind {
+                    ChunkKind::Approx => (m3 as u64, (m3 * 8) as u64),
+                    ChunkKind::Direct => {
+                        let node = &issue.nodes[ci as usize];
+                        let nc = (node.end - node.start) as u64;
+                        plan.fetched_particles += nc;
+                        (nc, nc * 4 * 8)
+                    }
+                };
+                let (cnt, sum_nb) = match kind {
+                    ChunkKind::Approx => approx_use[&ci],
+                    ChunkKind::Direct => direct_use[&ci],
+                };
+                plan.messages += 1;
+                plan.bytes += payload;
+                plan.launches += cnt;
+                plan.eval_targets += sum_nb;
+                plan.eval_sources += cnt * src;
+                plan.interactions += sum_nb * src;
             }
-            parts.insert(ni, p);
+            plans.push(plan);
+        }
+    }
+    plans
+}
+
+/// The **land** stage: execute the planned chunks' one-sided gets —
+/// per-cluster, in exactly the order the monolithic fill used, so the
+/// recorded traffic and the fetched data are byte-identical to the
+/// unchunked assembly (each chunk merely gets its own passive-target
+/// epoch, which costs nothing in the α–β model). Consumes the issue
+/// stage's skeleton and lists into the finished [`RemoteLet`].
+pub(crate) fn land_remote_let(
+    issue: LetIssue,
+    plans: &[ChunkPlan],
+    part_win: &Window<f64>,
+    qhat_win: &Window<f64>,
+    m3: usize,
+    params: &BltcParams,
+    tally: &mut CommTally,
+) -> RemoteLet {
+    let mut qhat = BTreeMap::new();
+    let mut grids = BTreeMap::new();
+    let mut parts = BTreeMap::new();
+    for plan in plans {
+        match plan.kind {
+            ChunkKind::Approx => {
+                let guard = qhat_win.lock_shared(issue.target);
+                for &ni in &issue.approx[plan.first..plan.first + plan.len] {
+                    let base = ni as usize * m3;
+                    qhat.insert(ni, guard.get(base..base + m3));
+                    tally.record((m3 * 8) as u64, true);
+                    grids.insert(
+                        ni,
+                        TensorGrid::new(params.degree, &issue.nodes[ni as usize].bbox),
+                    );
+                }
+            }
+            ChunkKind::Direct => {
+                let guard = part_win.lock_shared(issue.target);
+                for &ni in &issue.direct[plan.first..plan.first + plan.len] {
+                    let node = &issue.nodes[ni as usize];
+                    let flat = guard.get(4 * node.start..4 * node.end);
+                    tally.record((flat.len() * 8) as u64, true);
+                    let nc = node.end - node.start;
+                    let mut p = RemoteParticles {
+                        x: Vec::with_capacity(nc),
+                        y: Vec::with_capacity(nc),
+                        z: Vec::with_capacity(nc),
+                        q: Vec::with_capacity(nc),
+                    };
+                    for j in 0..nc {
+                        p.x.push(flat[4 * j]);
+                        p.y.push(flat[4 * j + 1]);
+                        p.z.push(flat[4 * j + 2]);
+                        p.q.push(flat[4 * j + 3]);
+                    }
+                    parts.insert(ni, p);
+                }
+            }
         }
     }
 
     RemoteLet {
-        nodes,
-        per_batch,
+        nodes: issue.nodes,
+        per_batch: issue.per_batch,
         qhat,
         grids,
         parts,

@@ -26,6 +26,36 @@
 //! traffic — so two runs differing only in fabric produce identical
 //! potentials and differ exactly in the modeled communication seconds.
 //!
+//! ## The pipelined epoch (phase DAG)
+//!
+//! Every run reports **two** clocks over the same work. The *serial*
+//! clock sums the phases in the order above — setup, staging,
+//! precompute, compute — exactly as the original bulk-synchronous
+//! implementation would execute them. The *pipelined* clock
+//! ([`RankReport::pipeline`], [`model::PipelineReport`]) reschedules
+//! the identical work items as a dependency DAG over four resources:
+//!
+//! - the **host** builds local tree/charges/interaction lists first,
+//!   then runs each LET traversal as its skeleton lands, then unpacks
+//!   payload chunks;
+//! - the **NIC** issues skeleton gets as soon as the windows exist and
+//!   streams each LET's payload in chunks of
+//!   [`DistConfig::let_chunk`] clusters (`letree`'s issue → plan →
+//!   land stages) once its traversal has demanded them;
+//! - the **PCIe** link stages each chunk after it lands;
+//! - the **device** starts the local block (staging, precompute, local
+//!   compute) the moment the local lists exist, and dispatches
+//!   remote-eval kernels onto [`DistConfig::streams`] simulated
+//!   streams (`gpu-sim`'s scheduler via `bltc_gpu::pipeline`) as their
+//!   chunks become ready.
+//!
+//! This is the overlap the paper's one-sided design exists to enable:
+//! LET gets hide behind local compute, and ≥2 streams hide remote
+//! launch latencies behind exec phases. Execution itself is **not**
+//! reordered — the same gets run in the same order, the same kernels
+//! produce bitwise-identical potentials — so `pipelined_s ≤ total_s`
+//! is a checkable invariant, with equality on one rank.
+//!
 //! ## Force fields
 //!
 //! Two entry points share the pipeline above:
@@ -73,7 +103,7 @@ mod letree;
 pub mod model;
 pub mod persistent;
 
-pub use model::HostModel;
+pub use model::{ChunkClock, HostModel, PipelineReport};
 pub use persistent::{
     FieldSession, MigrationRankStats, MigrationReport, RankLocal, SessionFieldReport, Snapshot,
 };
@@ -92,8 +122,10 @@ use mpi_sim::{run_spmd, Comm, NetworkSpec, Window};
 use rcb::{partition_particles, rcb_partition, RcbPartition};
 
 use letree::{
-    build_remote_let, eval_remote_field_into, eval_remote_into, CommTally, NodeMeta, RemoteLet,
+    eval_remote_field_into, eval_remote_into, issue_remote_let, land_remote_let, plan_chunks,
+    CommTally, LetPlan, NodeMeta, RemoteLet,
 };
+use model::{pipelined_clock, ChunkCost, LetFetchPlan};
 
 /// Configuration of a distributed run: treecode parameters plus the
 /// hardware models of one compute node class and its fabric.
@@ -109,6 +141,11 @@ pub struct DistConfig {
     pub streams: usize,
     /// Host-side setup-time model.
     pub host: HostModel,
+    /// Clusters per LET fetch chunk in the pipelined epoch. Chunking
+    /// changes neither results nor traffic (the same per-cluster gets
+    /// run in the same order); it only sets the granularity at which
+    /// the pipelined clock can overlap landing data with evaluation.
+    pub let_chunk: usize,
 }
 
 impl DistConfig {
@@ -122,6 +159,7 @@ impl DistConfig {
             net: NetworkSpec::infiniband_fdr(),
             streams: spec.num_streams,
             host: HostModel::default(),
+            let_chunk: 32,
         }
     }
 }
@@ -157,13 +195,21 @@ pub struct LetStats {
 ///    one-sided operation a rank originates targets a *remote* rank
 ///    (a rank never fetches its own windows), so the rank tallies and
 ///    the matrix's remote totals count the same set of operations.
-/// 2. All traffic happens during LET construction (setup). Evaluation
-///    — potential or gradient — adds **zero** RMA operations, so a
-///    field run's matrix is per-pair identical to a potential-only run
-///    on the same decomposition.
-/// 3. Phase clocks satisfy
+/// 2. All RMA operations are *issued* during LET construction.
+///    Evaluation — potential or gradient — adds **zero** RMA
+///    operations, so a field run's matrix is per-pair identical to a
+///    potential-only run on the same decomposition. (This is about
+///    what traffic *exists*, not when the clock bills it: the serial
+///    phases charge it all to `setup_comm_s`, while the pipelined
+///    clock overlaps the same transfers with local compute.)
+/// 3. The **serial** phase clocks satisfy
 ///    `setup_total() + precompute_s + compute_s == total()` by
 ///    construction (no hidden phases).
+/// 4. The **pipelined** clock satisfies
+///    `pipeline.pipelined_s ≤ total()`: the phase DAG reschedules
+///    exactly the work the serial phases charge — it never invents or
+///    drops a second — so its critical path cannot exceed the serial
+///    sum, and equals it on one rank (nothing remote to overlap).
 #[derive(Debug, Clone)]
 pub struct RankReport {
     /// Rank id.
@@ -176,10 +222,13 @@ pub struct RankReport {
     pub num_batches: usize,
     /// LET construction statistics.
     pub let_stats: LetStats,
-    /// One-sided RMA operations this rank originated. **All** of a
-    /// rank's communication happens during LET construction (setup);
-    /// evaluation — potential or gradient — adds none, so these tallies
-    /// must reconcile exactly with the run's [`TrafficMatrix`].
+    /// One-sided RMA operations this rank originated. All of a rank's
+    /// communication is *issued* during LET construction; evaluation —
+    /// potential or gradient — adds none, so these tallies must
+    /// reconcile exactly with the run's [`TrafficMatrix`]. (Whether
+    /// those transfers sit on the critical path is a separate, clock-
+    /// level question: serially they are billed to `setup_comm_s`; the
+    /// pipelined clock overlaps them with local compute.)
     pub let_messages: u64,
     /// Payload bytes of those one-sided operations.
     pub let_bytes: u64,
@@ -196,6 +245,12 @@ pub struct RankReport {
     pub precompute_s: f64,
     /// Modeled compute seconds (evaluation kernels + DtH potentials).
     pub compute_s: f64,
+    /// The overlap-aware clock: the critical path of the same epoch
+    /// restructured as a phase DAG (LET chunks land while the local
+    /// block computes; remote-eval kernels dispatch onto streams as
+    /// their chunks become ready), plus per-chunk land times. Satisfies
+    /// `pipeline.pipelined_s ≤ total()` (invariant 4).
+    pub pipeline: PipelineReport,
     /// Exact op counts (local + remote work on this rank).
     pub ops: OpCounts,
 }
@@ -211,6 +266,11 @@ impl RankReport {
     /// `setup_total() + precompute_s + compute_s`.
     pub fn total(&self) -> f64 {
         self.setup_total() + self.precompute_s + self.compute_s
+    }
+
+    /// Critical-path seconds of the pipelined epoch; always `≤ total()`.
+    pub fn pipelined_s(&self) -> f64 {
+        self.pipeline.pipelined_s
     }
 }
 
@@ -232,6 +292,11 @@ pub struct DistReport {
     /// Modeled run time: max over ranks of the per-rank totals (each
     /// rank's phases are serial; ranks overlap).
     pub total_s: f64,
+    /// Pipelined run time: max over ranks of the per-rank critical
+    /// paths (`≤ total_s`) — what the epoch costs when each rank
+    /// overlaps its LET fetch with local compute and streams its
+    /// remote evaluation.
+    pub pipelined_s: f64,
 }
 
 impl DistReport {
@@ -275,6 +340,9 @@ pub struct DistFieldReport {
     pub compute_s: f64,
     /// Modeled run time: max over ranks of the per-rank totals.
     pub total_s: f64,
+    /// Pipelined run time: max over ranks of the per-rank critical
+    /// paths (`≤ total_s`).
+    pub pipelined_s: f64,
 }
 
 impl DistFieldReport {
@@ -336,6 +404,8 @@ struct RankSetup {
     tree: SourceTree,
     batches: TargetBatches,
     lets: Vec<RemoteLet>,
+    /// Per-LET fetch schedules (chunk metadata for the pipelined clock).
+    plans: Vec<LetPlan>,
     let_stats: LetStats,
     tally: CommTally,
     // Held, not read: dropping a window before the final barrier would
@@ -348,8 +418,17 @@ struct RankSetup {
 /// Steps 2–3 of the pipeline (shared by the potential and field paths):
 /// build local tree/batches/charges, expose the skeleton / particle /
 /// modified-charge windows, and construct this rank's LET view of every
-/// remote tree over passive-target RMA.
-fn setup_rank(comm: &Comm, local: &ParticleSet, params: &BltcParams) -> RankSetup {
+/// remote tree over passive-target RMA — staged as issue → plan → land
+/// per remote rank, retaining each LET's chunk schedule for the
+/// pipelined clock. `let_chunk` is the chunk granularity
+/// ([`DistConfig::let_chunk`]); it affects only the retained schedule,
+/// never the fetched data or the recorded traffic.
+fn setup_rank(
+    comm: &Comm,
+    local: &ParticleSet,
+    params: &BltcParams,
+    let_chunk: usize,
+) -> RankSetup {
     let m3 = params.proxy_count();
 
     // ---- local structures (host) ------------------------------------
@@ -375,14 +454,23 @@ fn setup_rank(comm: &Comm, local: &ParticleSet, params: &BltcParams) -> RankSetu
     let qhat_win = comm.create_window(qdata);
     comm.barrier(); // all windows exposed; passive epochs may begin
 
-    // ---- LET construction (fully one-sided) -------------------------
+    // ---- LET construction (fully one-sided, staged) -----------------
     let mut tally = CommTally::default();
     let mut lets = Vec::with_capacity(comm.size().saturating_sub(1));
+    let mut plans = Vec::with_capacity(comm.size().saturating_sub(1));
     for t in 0..comm.size() {
         if t != comm.rank() {
-            lets.push(build_remote_let(
-                t, &batches, params, &meta_win, &part_win, &qhat_win, m3, &mut tally,
+            let issue = issue_remote_let(t, &batches, params, &meta_win, &mut tally);
+            let chunks = plan_chunks(&issue, &batches, m3, let_chunk);
+            let skeleton_bytes = issue.skeleton_bytes;
+            lets.push(land_remote_let(
+                issue, &chunks, &part_win, &qhat_win, m3, params, &mut tally,
             ));
+            plans.push(LetPlan {
+                target: t,
+                skeleton_bytes,
+                chunks,
+            });
         }
     }
     let mut let_stats = LetStats::default();
@@ -398,6 +486,7 @@ fn setup_rank(comm: &Comm, local: &ParticleSet, params: &BltcParams) -> RankSetu
         tree,
         batches,
         lets,
+        plans,
         let_stats,
         tally,
         _meta_win: meta_win,
@@ -415,6 +504,18 @@ struct RankClocks {
     setup_stage_s: f64,
     precompute_s: f64,
     compute_s: f64,
+}
+
+impl RankClocks {
+    /// Serial phase sum — the clock the pipelined critical path is
+    /// clamped against.
+    fn total(&self) -> f64 {
+        self.setup_host_s
+            + self.setup_comm_s
+            + self.setup_stage_s
+            + self.precompute_s
+            + self.compute_s
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -453,6 +554,72 @@ fn model_rank_clocks(
         setup_stage_s,
         precompute_s,
         compute_s,
+    }
+}
+
+/// Weight the retained LET chunk schedules by the evaluating kernel:
+/// the chunk structure is identical for the potential and field paths
+/// (same lists, same LET, same traffic — an invariant the tests pin);
+/// only the flops per interaction and the output columns per target
+/// (4 vs 7) differ.
+fn chunk_fetch_plans(setup: &RankSetup, flops_per_eval: f64, out_cols: u64) -> Vec<LetFetchPlan> {
+    setup
+        .plans
+        .iter()
+        .map(|p| LetFetchPlan {
+            target: p.target,
+            skeleton_bytes: p.skeleton_bytes,
+            traversal_launches: p.chunks.iter().map(|c| c.launches).sum(),
+            chunks: p
+                .chunks
+                .iter()
+                .map(|c| ChunkCost {
+                    messages: c.messages,
+                    bytes: c.bytes,
+                    fetched_particles: c.fetched_particles,
+                    launches: c.launches,
+                    exec_flops: c.interactions as f64 * flops_per_eval,
+                    eval_bytes: ((c.eval_targets * out_cols + c.eval_sources * 4) * 8) as f64,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// The plan stage derives every chunk cost analytically from the
+/// interaction lists; the consume stage counts the same quantities while
+/// evaluating. They must agree exactly — the pipelined clock feeds on
+/// the plan, the serial clock on the evaluation tallies.
+fn debug_assert_plans_reconcile(
+    setup: &RankSetup,
+    plans: &[LetFetchPlan],
+    remote_ops: &OpCounts,
+    device_bytes: f64,
+) {
+    if cfg!(debug_assertions) {
+        let chunks = || plans.iter().flat_map(|p| &p.chunks);
+        let launches: u64 = chunks().map(|c| c.launches).sum();
+        debug_assert_eq!(launches, remote_ops.kernel_launches);
+        let interactions: u64 = setup
+            .plans
+            .iter()
+            .flat_map(|p| &p.chunks)
+            .map(|c| c.interactions)
+            .sum();
+        debug_assert_eq!(
+            interactions,
+            remote_ops.approx_interactions + remote_ops.direct_interactions
+        );
+        let eval_bytes: f64 = chunks().map(|c| c.eval_bytes).sum();
+        debug_assert_eq!(eval_bytes, device_bytes);
+        let payload: u64 = chunks().map(|c| c.bytes).sum();
+        debug_assert_eq!(payload, setup.tally.device_bytes);
+        let messages: u64 = chunks().map(|c| c.messages).sum();
+        debug_assert_eq!(
+            messages + setup.plans.len() as u64,
+            setup.tally.messages,
+            "chunk gets + one skeleton get per LET must cover the tally"
+        );
     }
 }
 
@@ -495,7 +662,7 @@ pub fn run_distributed<K: Kernel + ?Sized>(
         let kernel: &dyn Kernel = &kref;
 
         // ---- setup: local structures, windows, LETs -----------------
-        let setup = setup_rank(&comm, local, &params);
+        let setup = setup_rank(&comm, local, &params, cfg.let_chunk);
 
         // ---- local evaluation on the simulated GPU ------------------
         let gpu = GpuEngine::with_spec(params, cfg.spec)
@@ -528,11 +695,12 @@ pub fn run_distributed<K: Kernel + ?Sized>(
         let ops = gpu.result.ops.merged(&remote_ops);
 
         // ---- modeled clocks -----------------------------------------
+        let levels = gpu.result.tree_stats.max_level + 1;
         let clocks = model_rank_clocks(
             cfg,
             &gpu.sim,
             local.len(),
-            gpu.result.tree_stats.max_level + 1,
+            levels,
             &ops,
             &setup.let_stats,
             &setup.tally,
@@ -540,11 +708,22 @@ pub fn run_distributed<K: Kernel + ?Sized>(
             device_bytes,
             remote_ops.kernel_launches,
         );
+        let fetch_plans = chunk_fetch_plans(&setup, kernel.flops_per_eval_gpu(), 4);
+        debug_assert_plans_reconcile(&setup, &fetch_plans, &remote_ops, device_bytes);
+        let pipeline = pipelined_clock(
+            cfg,
+            &gpu.sim,
+            local.len(),
+            levels,
+            gpu.result.ops.kernel_launches,
+            &fetch_plans,
+            clocks.total(),
+        );
 
         comm.barrier(); // epochs closed on every rank
 
         (
-            make_rank_report(rank, local.len(), &setup, clocks, ops),
+            make_rank_report(rank, local.len(), &setup, clocks, pipeline, ops),
             potentials,
         )
     });
@@ -564,6 +743,7 @@ pub fn run_distributed<K: Kernel + ?Sized>(
         precompute_s: fmax(&|r| r.precompute_s),
         compute_s: fmax(&|r| r.compute_s),
         total_s: fmax(&|r| r.total()),
+        pipelined_s: fmax(&|r| r.pipelined_s()),
         potentials,
         ranks: reports,
         traffic: out.traffic,
@@ -576,6 +756,7 @@ fn make_rank_report(
     n_local: usize,
     setup: &RankSetup,
     clocks: RankClocks,
+    pipeline: PipelineReport,
     ops: OpCounts,
 ) -> RankReport {
     RankReport {
@@ -591,6 +772,7 @@ fn make_rank_report(
         setup_stage_s: clocks.setup_stage_s,
         precompute_s: clocks.precompute_s,
         compute_s: clocks.compute_s,
+        pipeline,
         ops,
     }
 }
@@ -684,7 +866,7 @@ pub fn eval_field_rank(
     let params = cfg.params;
 
     // ---- setup: local structures, windows, LETs ---------------------
-    let setup = setup_rank(comm, local, &params);
+    let setup = setup_rank(comm, local, &params, cfg.let_chunk);
 
     // ---- local evaluation on the simulated GPU ----------------------
     let gpu = GpuEngine::with_spec(params, cfg.spec)
@@ -729,11 +911,12 @@ pub fn eval_field_rank(
     let ops = gpu.ops.merged(&remote_ops);
 
     // ---- modeled clocks (gradient flops on the remote pass) ---------
+    let levels = gpu.tree_stats.max_level + 1;
     let clocks = model_rank_clocks(
         cfg,
         &gpu.sim,
         local.len(),
-        gpu.tree_stats.max_level + 1,
+        levels,
         &ops,
         &setup.let_stats,
         &setup.tally,
@@ -741,13 +924,24 @@ pub fn eval_field_rank(
         device_bytes,
         remote_ops.kernel_launches,
     );
+    let fetch_plans = chunk_fetch_plans(&setup, kernel.grad_flops_per_eval_gpu(), 7);
+    debug_assert_plans_reconcile(&setup, &fetch_plans, &remote_ops, device_bytes);
+    let pipeline = pipelined_clock(
+        cfg,
+        &gpu.sim,
+        local.len(),
+        levels,
+        gpu.ops.kernel_launches,
+        &fetch_plans,
+        clocks.total(),
+    );
 
     // Epochs closed on every rank; windows (held by `setup`) must stay
     // alive until every peer is done fetching.
     comm.barrier();
 
     (
-        make_rank_report(comm.rank(), local.len(), &setup, clocks, ops),
+        make_rank_report(comm.rank(), local.len(), &setup, clocks, pipeline, ops),
         field,
     )
 }
@@ -793,6 +987,7 @@ fn run_field_pipeline<K: GradientKernel + ?Sized>(
         precompute_s: fmax(&|r| r.precompute_s),
         compute_s: fmax(&|r| r.compute_s),
         total_s: fmax(&|r| r.total()),
+        pipelined_s: fmax(&|r| r.pipelined_s()),
         field,
         ranks: reports,
         traffic: out.traffic,
@@ -855,9 +1050,64 @@ mod tests {
         let ps = ParticleSet::random_cube(900, 4);
         let rep = run_distributed(&ps, 3, &cfg(), &Coulomb);
         for r in &rep.ranks {
+            // The serial phase sum is exact — pipelining added a second
+            // clock, it did not perturb this one.
             assert_eq!(r.setup_total() + r.precompute_s + r.compute_s, r.total());
+            // The pipelined critical path reschedules the same work and
+            // can only win: never exceed the serial sum, never beat the
+            // device-side lower bound of the local block.
+            assert!(r.pipelined_s() <= r.total());
+            assert!(r.pipelined_s() > 0.0);
+            // One NIC serializes the chunk gets: land times and ready
+            // times are nondecreasing in dispatch order.
+            for w in r.pipeline.chunks.windows(2) {
+                assert!(w[0].land_s <= w[1].land_s);
+                assert!(w[0].ready_s <= w[1].ready_s);
+            }
+            for c in &r.pipeline.chunks {
+                assert!(c.ready_s >= c.land_s);
+            }
         }
+        assert!(rep.pipelined_s <= rep.total_s);
         assert!(rep.total_ops().num_batches > 0);
+    }
+
+    #[test]
+    fn single_rank_pipeline_equals_serial() {
+        // Nothing remote to overlap: the DAG degenerates to the serial
+        // chain (clamped against float reassociation across the two
+        // summation orders).
+        let ps = ParticleSet::random_cube(700, 41);
+        let rep = run_distributed(&ps, 1, &cfg(), &Coulomb);
+        let r = &rep.ranks[0];
+        assert!(r.pipelined_s() <= r.total());
+        assert!((r.pipelined_s() - r.total()).abs() < 1e-12 * r.total());
+        assert!(r.pipeline.chunks.is_empty());
+        assert_eq!(r.pipeline.last_land_s, 0.0);
+    }
+
+    #[test]
+    fn chunk_granularity_changes_clock_only() {
+        // let_chunk is a modeling knob: any granularity fetches the same
+        // bytes in the same order and yields bitwise-identical results
+        // and serial clocks; only the pipelined critical path moves.
+        let ps = ParticleSet::random_cube(1000, 42);
+        let base = cfg();
+        let fine = DistConfig {
+            let_chunk: 4,
+            ..base
+        };
+        let a = run_distributed(&ps, 3, &base, &Coulomb);
+        let b = run_distributed(&ps, 3, &fine, &Coulomb);
+        assert_eq!(a.potentials, b.potentials);
+        assert_eq!(a.total_s, b.total_s);
+        for (ra, rb) in a.ranks.iter().zip(&b.ranks) {
+            assert_eq!(ra.let_messages, rb.let_messages);
+            assert_eq!(ra.let_bytes, rb.let_bytes);
+            assert_eq!(ra.total(), rb.total());
+            assert!(rb.pipeline.chunks.len() >= ra.pipeline.chunks.len());
+            assert!(rb.pipelined_s() <= rb.total());
+        }
     }
 
     #[test]

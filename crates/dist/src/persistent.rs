@@ -90,6 +90,10 @@ pub struct SessionFieldReport {
     pub compute_s: f64,
     /// Modeled epoch seconds: max over ranks of the per-rank totals.
     pub total_s: f64,
+    /// Pipelined epoch seconds: max over ranks of the per-rank
+    /// critical paths (`≤ total_s`) — the session epochs expose the
+    /// same overlap-aware clock as the one-shot pipelines.
+    pub pipelined_s: f64,
     /// Session epoch index this evaluation ran as.
     pub epoch: u64,
 }
@@ -305,6 +309,7 @@ impl FieldSession {
             precompute_s: fmax(&|r| r.precompute_s),
             compute_s: fmax(&|r| r.compute_s),
             total_s: fmax(&|r| r.total()),
+            pipelined_s: fmax(&|r| r.pipelined_s()),
             ranks: er.results,
             traffic: er.traffic,
             epoch: er.epoch,
@@ -558,6 +563,8 @@ mod tests {
             respawn.traffic.total_remote_bytes()
         );
         assert_eq!(rep.total_s, respawn.total_s);
+        assert_eq!(rep.pipelined_s, respawn.pipelined_s);
+        assert!(rep.pipelined_s <= rep.total_s);
         // The resident fields, scattered by id, equal the respawn
         // pipeline's global assembly bitwise.
         let er =

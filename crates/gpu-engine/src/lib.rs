@@ -45,8 +45,10 @@
 
 pub mod engine;
 pub mod kernels;
+pub mod pipeline;
 
 pub use engine::{
     gpu_direct_sum, gpu_direct_sum_modeled_seconds, GpuDirectSumResult, GpuEngine,
     GpuFieldRunReport, GpuRunReport, GpuSimBreakdown,
 };
+pub use pipeline::{dispatch_remote_chunks, ChunkDispatchReport, RemoteChunkWork};

@@ -113,6 +113,11 @@ pub struct StepReport {
     /// Modeled step seconds: field-evaluation total plus the host
     /// (spawn/epoch/repartition) and migration costs of the step.
     pub total_s: f64,
+    /// Pipelined seconds of this step's field evaluation: max over
+    /// ranks of the overlap-aware critical path (`≤ setup_s +
+    /// precompute_s + compute_s`). Forces and trajectories are
+    /// identical either way — only the clock differs.
+    pub pipelined_s: f64,
     /// One-sided messages this step, summed from per-rank tallies.
     pub rank_msgs: u64,
     /// One-sided payload bytes this step, summed from per-rank tallies.
@@ -181,6 +186,10 @@ pub struct SimReport {
     pub compute_s: f64,
     /// Summed modeled seconds (field evaluations + repartitions).
     pub total_s: f64,
+    /// Summed pipelined seconds of the field evaluations — what the
+    /// evaluations cost when every rank epoch overlaps its LET fetch
+    /// with local compute (`≤` the evaluations' share of `total_s`).
+    pub pipelined_s: f64,
     /// Cumulative one-sided messages (per-rank tallies).
     pub rma_messages: u64,
     /// Cumulative one-sided payload bytes (per-rank tallies).
@@ -224,6 +233,7 @@ impl SimReport {
             precompute_s: 0.0,
             compute_s: 0.0,
             total_s: repartition_host_s + spawn_host_s,
+            pipelined_s: 0.0,
             rma_messages: 0,
             rma_bytes: 0,
             traffic: TrafficMatrix::zeros(ranks),
@@ -354,6 +364,7 @@ impl Integrator {
         self.report.precompute_s += rep.precompute_s;
         self.report.compute_s += rep.compute_s;
         self.report.total_s += rep.total_s + spawn_s;
+        self.report.pipelined_s += rep.pipelined_s;
         self.report.rma_messages += rank_msgs;
         self.report.rma_bytes += rank_bytes;
         self.report.traffic.accumulate(&rep.traffic);
@@ -436,6 +447,7 @@ impl Integrator {
             precompute_s: rep.precompute_s,
             compute_s: rep.compute_s,
             total_s: rep.total_s + repartition_host_s + spawn_host_s,
+            pipelined_s: rep.pipelined_s,
             rank_msgs,
             rank_bytes,
             matrix_msgs: rep.traffic.total_remote_messages(),

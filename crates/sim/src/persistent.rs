@@ -99,6 +99,7 @@ struct EvalEpoch {
     precompute_s: f64,
     compute_s: f64,
     total_s: f64,
+    pipelined_s: f64,
     rank_msgs: u64,
     rank_bytes: u64,
     matrix_msgs: u64,
@@ -224,6 +225,7 @@ impl PersistentIntegrator {
             precompute_s: fmax(&|r| r.precompute_s),
             compute_s: fmax(&|r| r.compute_s),
             total_s: fmax(&|r| r.total()),
+            pipelined_s: fmax(&|r| r.pipelined_s()),
             rank_msgs,
             rank_bytes,
             matrix_msgs: er.traffic.total_remote_messages(),
@@ -240,6 +242,7 @@ impl PersistentIntegrator {
         self.report.precompute_s += eval.precompute_s;
         self.report.compute_s += eval.compute_s;
         self.report.total_s += eval.total_s + epoch_s;
+        self.report.pipelined_s += eval.pipelined_s;
         self.report.rma_messages += eval.rank_msgs;
         self.report.rma_bytes += eval.rank_bytes;
         self.report.traffic.accumulate(&eval.traffic);
@@ -325,6 +328,7 @@ impl PersistentIntegrator {
             precompute_s: eval.precompute_s,
             compute_s: eval.compute_s,
             total_s: eval.total_s + repartition_host_s + migration_comm_s + epoch_host_s,
+            pipelined_s: eval.pipelined_s,
             rank_msgs: eval.rank_msgs,
             rank_bytes: eval.rank_bytes,
             matrix_msgs: eval.matrix_msgs,

@@ -176,9 +176,14 @@ fn field_phase_totals_are_consistent() {
             (r.setup_total() + r.precompute_s + r.compute_s - total).abs() < 1e-12,
             "phases must sum to the total"
         );
+        // The pipelined critical path can only remove waiting, never
+        // add work: it is bounded by the serial sum on every rank.
+        assert!(r.pipelined_s() > 0.0);
+        assert!(r.pipelined_s() <= total);
     }
     assert!(rep.total_s <= rep.setup_s + rep.precompute_s + rep.compute_s + 1e-12);
     assert!(rep.total_s >= rep.setup_s.max(rep.precompute_s).max(rep.compute_s));
+    assert!(rep.pipelined_s > 0.0 && rep.pipelined_s <= rep.total_s);
     assert!(rep.total_ops().num_batches > 0);
 }
 
