@@ -6,7 +6,7 @@
 //! |--------------------|------------|
 //! | `fig2_rcb`         | Fig. 2 — RCB of the unit square, 4 & 6 parts |
 //! | `fig4_accuracy`    | Fig. 4 — run time vs error, CPU vs GPU, Coulomb & Yukawa |
-//! | `fig5_weak`        | Fig. 5 — weak scaling, 1→32 GPUs |
+//! | `fig5_weak`        | Fig. 5 — weak scaling, 1→32 GPUs; `--stream` adds the memory-bounded LET-streaming sweep |
 //! | `fig6_strong`      | Fig. 6 — strong scaling + phase breakdown |
 //! | `ablation_streams` | §3.2 — async-stream ablation (~25% claim); `--multi` adds the multi-rank pipelined-epoch sweep |
 //! | `dynamics_steps`   | time-per-step scaling of the `bltc-sim` driver, 1→8 ranks |

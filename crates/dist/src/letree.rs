@@ -19,6 +19,23 @@
 //! neither the fetched bytes nor the recorded traffic. The **consume**
 //! stage is the unchanged evaluation ([`eval_remote_into`] /
 //! [`eval_remote_field_into`]).
+//!
+//! Two consumption modes share those stages:
+//!
+//! - **Retain** ([`land_remote_let`] then `eval_remote_*`): land every
+//!   chunk into one [`RemoteLet`], evaluate afterwards. Peak resident
+//!   remote payload = the whole LET.
+//! - **Stream** ([`stream_remote_let`] / [`stream_remote_let_field`]):
+//!   land one chunk, evaluate just that chunk's clusters into persistent
+//!   per-batch partials, drop the payload, land the next. Peak resident
+//!   remote payload = the largest single chunk, which [`plan_chunks`]
+//!   caps at the caller's byte budget — the memory-bounded mode that
+//!   lets a rank's LET far exceed its staging memory.
+//!
+//! Both modes execute identical gets in identical order through
+//! [`land_chunk`] and identical per-cluster scalar math through shared
+//! helpers, so potentials, forces, op counts, and recorded traffic are
+//! bitwise independent of the mode and of the budget.
 
 use std::collections::BTreeMap;
 
@@ -30,6 +47,7 @@ use bltc_core::geometry::{BoundingBox, Point3};
 use bltc_core::interp::tensor::TensorGrid;
 use bltc_core::kernel::{GradientKernel, Kernel};
 use bltc_core::mac::{Mac, MacDecision};
+use bltc_core::particles::ParticleSet;
 use bltc_core::tree::{batch::TargetBatches, ClusterNode};
 use mpi_sim::Window;
 
@@ -202,7 +220,7 @@ pub(crate) fn issue_remote_let(
     // the per-batch lists afterwards, so both the lists and the fetch
     // order below are bitwise independent of the pool size.
     let mac = Mac::new(params);
-    let per_batch: Vec<(Vec<u32>, Vec<u32>)> = batches
+    let mut per_batch: Vec<(Vec<u32>, Vec<u32>)> = batches
         .batches()
         .par_iter()
         .map(|b| {
@@ -220,6 +238,17 @@ pub(crate) fn issue_remote_let(
             (approx, direct)
         })
         .collect();
+    // Canonical per-batch order: ascending cluster id. The traversal
+    // pushes ids in descent order, which is not monotone in the array
+    // layout; every consumer accumulates per-cluster contributions
+    // additively, so one fixed order pins the fp accumulation order —
+    // and ascending id is exactly the order the streaming mode replays
+    // chunk by chunk, which is what makes evaluate-and-discard bitwise
+    // identical to retain-everything.
+    for (approx, direct) in &mut per_batch {
+        approx.sort_unstable();
+        direct.sort_unstable();
+    }
     let mut approx_set = std::collections::BTreeSet::new();
     let mut direct_set = std::collections::BTreeSet::new();
     for (approx, direct) in &per_batch {
@@ -288,15 +317,26 @@ pub(crate) struct ChunkPlan {
 }
 
 /// The **plan** stage: group the distinct clusters of one LET into fetch
-/// chunks of at most `chunk_clusters` clusters (approx chunks first,
-/// then direct, both ascending — the same order the monolithic fill
-/// used) and precompute each chunk's communication payload and
-/// evaluation work from the per-batch interaction lists.
+/// chunks (approx chunks first, then direct, both ascending — the same
+/// order the monolithic fill used) and precompute each chunk's
+/// communication payload and evaluation work from the per-batch
+/// interaction lists.
+///
+/// Chunk granularity obeys two caps: at most `chunk_clusters` clusters
+/// per chunk, and — when `budget` is set — at most `budget` payload
+/// bytes per chunk, so the streaming consumer never holds more than
+/// `budget` resident remote bytes. The minimum resident unit is one
+/// cluster: a cluster whose payload alone exceeds the budget still gets
+/// its own (over-budget) chunk, which the caller can detect by comparing
+/// the reported peak against the budget. Every emitted chunk carries at
+/// least one cluster — an empty chunk would charge a shared-lock epoch
+/// that fetches nothing.
 pub(crate) fn plan_chunks(
     issue: &LetIssue,
     batches: &TargetBatches,
     m3: usize,
     chunk_clusters: usize,
+    budget: Option<u64>,
 ) -> Vec<ChunkPlan> {
     // Per-cluster (launches, Σ batch targets) over the interaction lists.
     let mut approx_use: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
@@ -321,11 +361,12 @@ pub(crate) fn plan_chunks(
         (ChunkKind::Approx, &issue.approx),
         (ChunkKind::Direct, &issue.direct),
     ] {
-        for (gi, group) in ids.chunks(chunk_clusters).enumerate() {
+        let mut start = 0;
+        while start < ids.len() {
             let mut plan = ChunkPlan {
                 kind,
-                first: gi * chunk_clusters,
-                len: group.len(),
+                first: start,
+                len: 0,
                 messages: 0,
                 bytes: 0,
                 fetched_particles: 0,
@@ -334,31 +375,103 @@ pub(crate) fn plan_chunks(
                 eval_sources: 0,
                 interactions: 0,
             };
-            for &ci in group {
-                let (src, payload) = match kind {
-                    ChunkKind::Approx => (m3 as u64, (m3 * 8) as u64),
+            while plan.len < chunk_clusters && start + plan.len < ids.len() {
+                let ci = ids[start + plan.len];
+                let (src, payload, nc) = match kind {
+                    ChunkKind::Approx => (m3 as u64, (m3 * 8) as u64, 0),
                     ChunkKind::Direct => {
                         let node = &issue.nodes[ci as usize];
                         let nc = (node.end - node.start) as u64;
-                        plan.fetched_particles += nc;
-                        (nc, nc * 4 * 8)
+                        (nc, nc * 4 * 8, nc)
                     }
                 };
+                // The first cluster is always admitted (one cluster is
+                // the minimum resident unit); after that the byte budget
+                // closes the chunk.
+                if plan.len > 0 && budget.is_some_and(|b| plan.bytes + payload > b) {
+                    break;
+                }
                 let (cnt, sum_nb) = match kind {
                     ChunkKind::Approx => approx_use[&ci],
                     ChunkKind::Direct => direct_use[&ci],
                 };
+                plan.len += 1;
                 plan.messages += 1;
                 plan.bytes += payload;
+                plan.fetched_particles += nc;
                 plan.launches += cnt;
                 plan.eval_targets += sum_nb;
                 plan.eval_sources += cnt * src;
                 plan.interactions += sum_nb * src;
             }
+            if plan.len == 0 {
+                // Defensive: never emit a zero-cluster chunk — the
+                // packing loop always admits at least one cluster, but a
+                // regression here must not charge empty lock epochs.
+                break;
+            }
+            start += plan.len;
             plans.push(plan);
         }
     }
     plans
+}
+
+/// Land one planned chunk: execute its per-cluster one-sided gets in
+/// ascending cluster order under a single shared-lock epoch, inserting
+/// the payloads into the caller's staging maps. Both the retained
+/// ([`land_remote_let`]) and the streaming ([`stream_remote_let`])
+/// assemblies go through this one implementation, so their recorded
+/// traffic and fetched bytes are identical by construction.
+#[allow(clippy::too_many_arguments)]
+fn land_chunk(
+    issue: &LetIssue,
+    plan: &ChunkPlan,
+    part_win: &Window<f64>,
+    qhat_win: &Window<f64>,
+    m3: usize,
+    params: &BltcParams,
+    tally: &mut CommTally,
+    qhat: &mut BTreeMap<u32, Vec<f64>>,
+    grids: &mut BTreeMap<u32, TensorGrid>,
+    parts: &mut BTreeMap<u32, RemoteParticles>,
+) {
+    match plan.kind {
+        ChunkKind::Approx => {
+            let guard = qhat_win.lock_shared(issue.target);
+            for &ni in &issue.approx[plan.first..plan.first + plan.len] {
+                let base = ni as usize * m3;
+                qhat.insert(ni, guard.get(base..base + m3));
+                tally.record((m3 * 8) as u64, true);
+                grids.insert(
+                    ni,
+                    TensorGrid::new(params.degree, &issue.nodes[ni as usize].bbox),
+                );
+            }
+        }
+        ChunkKind::Direct => {
+            let guard = part_win.lock_shared(issue.target);
+            for &ni in &issue.direct[plan.first..plan.first + plan.len] {
+                let node = &issue.nodes[ni as usize];
+                let flat = guard.get(4 * node.start..4 * node.end);
+                tally.record((flat.len() * 8) as u64, true);
+                let nc = node.end - node.start;
+                let mut p = RemoteParticles {
+                    x: Vec::with_capacity(nc),
+                    y: Vec::with_capacity(nc),
+                    z: Vec::with_capacity(nc),
+                    q: Vec::with_capacity(nc),
+                };
+                for j in 0..nc {
+                    p.x.push(flat[4 * j]);
+                    p.y.push(flat[4 * j + 1]);
+                    p.z.push(flat[4 * j + 2]);
+                    p.q.push(flat[4 * j + 3]);
+                }
+                parts.insert(ni, p);
+            }
+        }
+    }
 }
 
 /// The **land** stage: execute the planned chunks' one-sided gets —
@@ -380,42 +493,9 @@ pub(crate) fn land_remote_let(
     let mut grids = BTreeMap::new();
     let mut parts = BTreeMap::new();
     for plan in plans {
-        match plan.kind {
-            ChunkKind::Approx => {
-                let guard = qhat_win.lock_shared(issue.target);
-                for &ni in &issue.approx[plan.first..plan.first + plan.len] {
-                    let base = ni as usize * m3;
-                    qhat.insert(ni, guard.get(base..base + m3));
-                    tally.record((m3 * 8) as u64, true);
-                    grids.insert(
-                        ni,
-                        TensorGrid::new(params.degree, &issue.nodes[ni as usize].bbox),
-                    );
-                }
-            }
-            ChunkKind::Direct => {
-                let guard = part_win.lock_shared(issue.target);
-                for &ni in &issue.direct[plan.first..plan.first + plan.len] {
-                    let node = &issue.nodes[ni as usize];
-                    let flat = guard.get(4 * node.start..4 * node.end);
-                    tally.record((flat.len() * 8) as u64, true);
-                    let nc = node.end - node.start;
-                    let mut p = RemoteParticles {
-                        x: Vec::with_capacity(nc),
-                        y: Vec::with_capacity(nc),
-                        z: Vec::with_capacity(nc),
-                        q: Vec::with_capacity(nc),
-                    };
-                    for j in 0..nc {
-                        p.x.push(flat[4 * j]);
-                        p.y.push(flat[4 * j + 1]);
-                        p.z.push(flat[4 * j + 2]);
-                        p.q.push(flat[4 * j + 3]);
-                    }
-                    parts.insert(ni, p);
-                }
-            }
-        }
+        land_chunk(
+            &issue, plan, part_win, qhat_win, m3, params, tally, &mut qhat, &mut grids, &mut parts,
+        );
     }
 
     RemoteLet {
@@ -424,6 +504,105 @@ pub(crate) fn land_remote_let(
         qhat,
         grids,
         parts,
+    }
+}
+
+/// One MAC-accepted cluster's contribution (Eq. 11) to a contiguous
+/// target range, accumulated into `vals` (one slot per target). The
+/// single implementation shared by the retained and streaming
+/// evaluation paths — their bitwise identity rests on this.
+fn approx_cluster_pot(
+    tp: &ParticleSet,
+    start: usize,
+    end: usize,
+    grid: &TensorGrid,
+    qh: &[f64],
+    kernel: &dyn Kernel,
+    vals: &mut [f64],
+) {
+    for (t, slot) in (start..end).zip(vals.iter_mut()) {
+        let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
+        let mut acc = 0.0;
+        for (k, &q) in qh.iter().enumerate() {
+            let s = grid.point_linear(k);
+            acc += kernel.eval(tx - s.x, ty - s.y, tz - s.z) * q;
+        }
+        *slot += acc;
+    }
+}
+
+/// One direct cluster's contribution (Eq. 9) to a contiguous target
+/// range — the direct-summation counterpart of [`approx_cluster_pot`].
+fn direct_cluster_pot(
+    tp: &ParticleSet,
+    start: usize,
+    end: usize,
+    p: &RemoteParticles,
+    kernel: &dyn Kernel,
+    vals: &mut [f64],
+) {
+    for (t, slot) in (start..end).zip(vals.iter_mut()) {
+        let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
+        let mut acc = 0.0;
+        for j in 0..p.x.len() {
+            acc += kernel.eval(tx - p.x[j], ty - p.y[j], tz - p.z[j]) * p.q[j];
+        }
+        *slot += acc;
+    }
+}
+
+/// Field counterpart of [`approx_cluster_pot`]: potential plus gradient
+/// into four accumulator columns `[pot, gx, gy, gz]`.
+fn approx_cluster_field(
+    tp: &ParticleSet,
+    start: usize,
+    end: usize,
+    grid: &TensorGrid,
+    qh: &[f64],
+    kernel: &dyn GradientKernel,
+    vals: &mut [Vec<f64>; 4],
+) {
+    for (i, t) in (start..end).enumerate() {
+        let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
+        let (mut p, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
+        for (k, &q) in qh.iter().enumerate() {
+            let s = grid.point_linear(k);
+            let (g, dgx, dgy, dgz) = kernel.eval_with_grad(tx - s.x, ty - s.y, tz - s.z);
+            p += g * q;
+            ax += dgx * q;
+            ay += dgy * q;
+            az += dgz * q;
+        }
+        vals[0][i] += p;
+        vals[1][i] += ax;
+        vals[2][i] += ay;
+        vals[3][i] += az;
+    }
+}
+
+/// Field counterpart of [`direct_cluster_pot`].
+fn direct_cluster_field(
+    tp: &ParticleSet,
+    start: usize,
+    end: usize,
+    p: &RemoteParticles,
+    kernel: &dyn GradientKernel,
+    vals: &mut [Vec<f64>; 4],
+) {
+    for (i, t) in (start..end).enumerate() {
+        let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
+        let (mut acc, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
+        for j in 0..p.x.len() {
+            let (g, dgx, dgy, dgz) = kernel.eval_with_grad(tx - p.x[j], ty - p.y[j], tz - p.z[j]);
+            acc += g * p.q[j];
+            ax += dgx * p.q[j];
+            ay += dgy * p.q[j];
+            az += dgz * p.q[j];
+        }
+        vals[0][i] += acc;
+        vals[1][i] += ax;
+        vals[2][i] += ay;
+        vals[3][i] += az;
     }
 }
 
@@ -461,29 +640,14 @@ pub(crate) fn eval_remote_into(
             for &ci in approx {
                 let grid = &let_view.grids[&ci];
                 let qh = &let_view.qhat[&ci];
-                for (t, slot) in (b.start..b.end).zip(vals.iter_mut()) {
-                    let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
-                    let mut acc = 0.0;
-                    for (k, &q) in qh.iter().enumerate() {
-                        let s = grid.point_linear(k);
-                        acc += kernel.eval(tx - s.x, ty - s.y, tz - s.z) * q;
-                    }
-                    *slot += acc;
-                }
+                approx_cluster_pot(tp, b.start, b.end, grid, qh, kernel, &mut vals);
                 bops.approx_interactions += (nb * qh.len()) as u64;
                 bops.kernel_launches += 1;
                 bbytes += ((nb * 4 + qh.len() * 4) * 8) as f64;
             }
             for &ci in direct {
                 let p = &let_view.parts[&ci];
-                for (t, slot) in (b.start..b.end).zip(vals.iter_mut()) {
-                    let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
-                    let mut acc = 0.0;
-                    for j in 0..p.x.len() {
-                        acc += kernel.eval(tx - p.x[j], ty - p.y[j], tz - p.z[j]) * p.q[j];
-                    }
-                    *slot += acc;
-                }
+                direct_cluster_pot(tp, b.start, b.end, p, kernel, &mut vals);
                 bops.direct_interactions += (nb * p.x.len()) as u64;
                 bops.kernel_launches += 1;
                 bbytes += ((nb * 4 + p.x.len() * 4) * 8) as f64;
@@ -538,45 +702,14 @@ pub(crate) fn eval_remote_field_into(
             for &ci in approx {
                 let grid = &let_view.grids[&ci];
                 let qh = &let_view.qhat[&ci];
-                for (i, t) in (b.start..b.end).enumerate() {
-                    let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
-                    let (mut p, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
-                    for (k, &q) in qh.iter().enumerate() {
-                        let s = grid.point_linear(k);
-                        let (g, dgx, dgy, dgz) =
-                            kernel.eval_with_grad(tx - s.x, ty - s.y, tz - s.z);
-                        p += g * q;
-                        ax += dgx * q;
-                        ay += dgy * q;
-                        az += dgz * q;
-                    }
-                    vals[0][i] += p;
-                    vals[1][i] += ax;
-                    vals[2][i] += ay;
-                    vals[3][i] += az;
-                }
+                approx_cluster_field(tp, b.start, b.end, grid, qh, kernel, &mut vals);
                 bops.approx_interactions += (nb * qh.len()) as u64;
                 bops.kernel_launches += 1;
                 bbytes += ((nb * 7 + qh.len() * 4) * 8) as f64;
             }
             for &ci in direct {
                 let p = &let_view.parts[&ci];
-                for (i, t) in (b.start..b.end).enumerate() {
-                    let (tx, ty, tz) = (tp.x[t], tp.y[t], tp.z[t]);
-                    let (mut acc, mut ax, mut ay, mut az) = (0.0, 0.0, 0.0, 0.0);
-                    for j in 0..p.x.len() {
-                        let (g, dgx, dgy, dgz) =
-                            kernel.eval_with_grad(tx - p.x[j], ty - p.y[j], tz - p.z[j]);
-                        acc += g * p.q[j];
-                        ax += dgx * p.q[j];
-                        ay += dgy * p.q[j];
-                        az += dgz * p.q[j];
-                    }
-                    vals[0][i] += acc;
-                    vals[1][i] += ax;
-                    vals[2][i] += ay;
-                    vals[3][i] += az;
-                }
+                direct_cluster_field(tp, b.start, b.end, p, kernel, &mut vals);
                 bops.direct_interactions += (nb * p.x.len()) as u64;
                 bops.kernel_launches += 1;
                 bbytes += ((nb * 7 + p.x.len() * 4) * 8) as f64;
@@ -598,5 +731,371 @@ pub(crate) fn eval_remote_field_into(
         }
         *ops = ops.merged(bops);
         *device_bytes += bbytes;
+    }
+}
+
+/// The **stream** mode: land each planned chunk, evaluate just that
+/// chunk's clusters into persistent per-batch partials, and drop the
+/// payload before landing the next — so the resident remote payload
+/// never exceeds one chunk (which [`plan_chunks`] bounds by the caller's
+/// byte budget).
+///
+/// Bitwise identity with the retained path ([`land_remote_let`] +
+/// [`eval_remote_into`]) holds by construction:
+///
+/// * the gets run through the same [`land_chunk`], in the same order —
+///   identical payloads and recorded traffic;
+/// * each target slot accumulates per-cluster contributions in ascending
+///   cluster id — exactly the sorted per-batch list order the retained
+///   evaluation uses — into a partial that starts at zero and is merged
+///   into `out` once per LET, the same single merge the retained path
+///   performs per batch;
+/// * op counts and modeled device bytes are integer-valued, so their
+///   accumulation order cannot matter.
+///
+/// The batch loop runs serially: the chunk loop is the outer loop here,
+/// and a serial inner loop is trivially independent of the host pool
+/// size. Returns the peak resident payload bytes (the largest single
+/// chunk landed).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stream_remote_let(
+    issue: &LetIssue,
+    plans: &[ChunkPlan],
+    batches: &TargetBatches,
+    part_win: &Window<f64>,
+    qhat_win: &Window<f64>,
+    m3: usize,
+    params: &BltcParams,
+    tally: &mut CommTally,
+    kernel: &dyn Kernel,
+    out: &mut [f64],
+    ops: &mut OpCounts,
+    device_bytes: &mut f64,
+) -> u64 {
+    let tp = batches.particles();
+    let mut vals: Vec<Vec<f64>> = batches
+        .batches()
+        .iter()
+        .map(|b| vec![0.0; b.num_targets()])
+        .collect();
+    let mut lops = OpCounts::default();
+    let mut lbytes = 0.0;
+    let mut peak = 0u64;
+
+    let mut qhat = BTreeMap::new();
+    let mut grids = BTreeMap::new();
+    let mut parts = BTreeMap::new();
+    for plan in plans {
+        land_chunk(
+            issue, plan, part_win, qhat_win, m3, params, tally, &mut qhat, &mut grids, &mut parts,
+        );
+        peak = peak.max(plan.bytes);
+        if plan.len == 0 {
+            continue;
+        }
+        let ids = match plan.kind {
+            ChunkKind::Approx => &issue.approx,
+            ChunkKind::Direct => &issue.direct,
+        };
+        let (lo, hi) = (ids[plan.first], ids[plan.first + plan.len - 1]);
+        for ((b, (approx, direct)), v) in batches
+            .batches()
+            .iter()
+            .zip(&issue.per_batch)
+            .zip(vals.iter_mut())
+        {
+            let nb = b.num_targets();
+            let list = match plan.kind {
+                ChunkKind::Approx => approx,
+                ChunkKind::Direct => direct,
+            };
+            // The batch list is sorted ascending, so the clusters this
+            // chunk holds form one contiguous run.
+            let s = list.partition_point(|&c| c < lo);
+            let e = list.partition_point(|&c| c <= hi);
+            for &ci in &list[s..e] {
+                match plan.kind {
+                    ChunkKind::Approx => {
+                        let grid = &grids[&ci];
+                        let qh = &qhat[&ci];
+                        approx_cluster_pot(tp, b.start, b.end, grid, qh, kernel, v);
+                        lops.approx_interactions += (nb * qh.len()) as u64;
+                        lops.kernel_launches += 1;
+                        lbytes += ((nb * 4 + qh.len() * 4) * 8) as f64;
+                    }
+                    ChunkKind::Direct => {
+                        let p = &parts[&ci];
+                        direct_cluster_pot(tp, b.start, b.end, p, kernel, v);
+                        lops.direct_interactions += (nb * p.x.len()) as u64;
+                        lops.kernel_launches += 1;
+                        lbytes += ((nb * 4 + p.x.len() * 4) * 8) as f64;
+                    }
+                }
+            }
+        }
+        // Evaluate-and-discard: the payload dies here, before the next
+        // chunk lands.
+        qhat.clear();
+        grids.clear();
+        parts.clear();
+    }
+
+    for (b, v) in batches.batches().iter().zip(&vals) {
+        for (slot, val) in out[b.start..b.end].iter_mut().zip(v) {
+            *slot += val;
+        }
+    }
+    *ops = ops.merged(&lops);
+    *device_bytes += lbytes;
+    peak
+}
+
+/// Field counterpart of [`stream_remote_let`]: memory-bounded
+/// evaluate-and-discard of one LET's potential **and gradient**
+/// contributions. Same structure, four accumulator columns per batch,
+/// merged in the retained path's `[pot, gx, gy, gz]` per-batch order.
+/// Returns the peak resident payload bytes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stream_remote_let_field(
+    issue: &LetIssue,
+    plans: &[ChunkPlan],
+    batches: &TargetBatches,
+    part_win: &Window<f64>,
+    qhat_win: &Window<f64>,
+    m3: usize,
+    params: &BltcParams,
+    tally: &mut CommTally,
+    kernel: &dyn GradientKernel,
+    pot: &mut [f64],
+    gx: &mut [f64],
+    gy: &mut [f64],
+    gz: &mut [f64],
+    ops: &mut OpCounts,
+    device_bytes: &mut f64,
+) -> u64 {
+    let tp = batches.particles();
+    let mut vals: Vec<[Vec<f64>; 4]> = batches
+        .batches()
+        .iter()
+        .map(|b| {
+            let nb = b.num_targets();
+            [vec![0.0; nb], vec![0.0; nb], vec![0.0; nb], vec![0.0; nb]]
+        })
+        .collect();
+    let mut lops = OpCounts::default();
+    let mut lbytes = 0.0;
+    let mut peak = 0u64;
+
+    let mut qhat = BTreeMap::new();
+    let mut grids = BTreeMap::new();
+    let mut parts = BTreeMap::new();
+    for plan in plans {
+        land_chunk(
+            issue, plan, part_win, qhat_win, m3, params, tally, &mut qhat, &mut grids, &mut parts,
+        );
+        peak = peak.max(plan.bytes);
+        if plan.len == 0 {
+            continue;
+        }
+        let ids = match plan.kind {
+            ChunkKind::Approx => &issue.approx,
+            ChunkKind::Direct => &issue.direct,
+        };
+        let (lo, hi) = (ids[plan.first], ids[plan.first + plan.len - 1]);
+        for ((b, (approx, direct)), v) in batches
+            .batches()
+            .iter()
+            .zip(&issue.per_batch)
+            .zip(vals.iter_mut())
+        {
+            let nb = b.num_targets();
+            let list = match plan.kind {
+                ChunkKind::Approx => approx,
+                ChunkKind::Direct => direct,
+            };
+            let s = list.partition_point(|&c| c < lo);
+            let e = list.partition_point(|&c| c <= hi);
+            for &ci in &list[s..e] {
+                match plan.kind {
+                    ChunkKind::Approx => {
+                        let grid = &grids[&ci];
+                        let qh = &qhat[&ci];
+                        approx_cluster_field(tp, b.start, b.end, grid, qh, kernel, v);
+                        lops.approx_interactions += (nb * qh.len()) as u64;
+                        lops.kernel_launches += 1;
+                        lbytes += ((nb * 7 + qh.len() * 4) * 8) as f64;
+                    }
+                    ChunkKind::Direct => {
+                        let p = &parts[&ci];
+                        direct_cluster_field(tp, b.start, b.end, p, kernel, v);
+                        lops.direct_interactions += (nb * p.x.len()) as u64;
+                        lops.kernel_launches += 1;
+                        lbytes += ((nb * 7 + p.x.len() * 4) * 8) as f64;
+                    }
+                }
+            }
+        }
+        qhat.clear();
+        grids.clear();
+        parts.clear();
+    }
+
+    for (b, v) in batches.batches().iter().zip(&vals) {
+        let r = b.start..b.end;
+        for (dst, src) in [
+            (&mut pot[r.clone()], &v[0]),
+            (&mut gx[r.clone()], &v[1]),
+            (&mut gy[r.clone()], &v[2]),
+            (&mut gz[r], &v[3]),
+        ] {
+            for (slot, val) in dst.iter_mut().zip(src.iter()) {
+                *slot += val;
+            }
+        }
+    }
+    *ops = ops.merged(&lops);
+    *device_bytes += lbytes;
+    peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_batches() -> TargetBatches {
+        let ps = ParticleSet::random_cube(64, 7);
+        let params = BltcParams::new(0.7, 2, 8, 16);
+        TargetBatches::build(&ps, &params)
+    }
+
+    /// A hand-built issue whose every batch demands every one of
+    /// `n_approx` MAC-accepted clusters (payload `m3 * 8` bytes each).
+    fn approx_issue(n_approx: usize, batches: &TargetBatches) -> LetIssue {
+        let ids: Vec<u32> = (0..n_approx as u32).collect();
+        LetIssue {
+            target: 1,
+            nodes: Vec::new(),
+            per_batch: batches
+                .batches()
+                .iter()
+                .map(|_| (ids.clone(), Vec::new()))
+                .collect(),
+            approx: ids,
+            direct: Vec::new(),
+            skeleton_bytes: 0,
+        }
+    }
+
+    /// A direct-only issue with one node per cluster, `nc` particles
+    /// each (payload `nc * 32` bytes per cluster).
+    fn direct_issue(n_direct: usize, nc: usize, batches: &TargetBatches) -> LetIssue {
+        let bbox = BoundingBox::new(Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 1.0));
+        let nodes: Vec<ClusterNode> = (0..n_direct)
+            .map(|i| ClusterNode {
+                center: bbox.midpoint(),
+                radius: bbox.radius(),
+                bbox,
+                start: i * nc,
+                end: (i + 1) * nc,
+                children: [0; 8],
+                num_children: 0,
+                level: 0,
+            })
+            .collect();
+        let ids: Vec<u32> = (0..n_direct as u32).collect();
+        LetIssue {
+            target: 1,
+            nodes,
+            per_batch: batches
+                .batches()
+                .iter()
+                .map(|_| (Vec::new(), ids.clone()))
+                .collect(),
+            approx: Vec::new(),
+            direct: ids,
+            skeleton_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn exact_multiple_cluster_counts_emit_no_empty_trailing_chunk() {
+        let b = tiny_batches();
+        // 6 clusters at chunk size 3: exactly 2 chunks of 3 — a naive
+        // split must not append a zero-cluster trailing plan that would
+        // charge an empty shared-lock epoch.
+        let plans = plan_chunks(&approx_issue(6, &b), &b, 27, 3, None);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(
+            plans.iter().map(|p| (p.first, p.len)).collect::<Vec<_>>(),
+            vec![(0, 3), (3, 3)]
+        );
+        assert!(plans.iter().all(|p| p.len > 0), "no empty chunk plans");
+        assert_eq!(plans.iter().map(|p| p.messages).sum::<u64>(), 6);
+
+        // Chunk size exactly the cluster count: one full chunk.
+        let plans = plan_chunks(&approx_issue(4, &b), &b, 27, 4, None);
+        assert_eq!(plans.len(), 1);
+        assert_eq!((plans[0].first, plans[0].len), (0, 4));
+    }
+
+    #[test]
+    fn byte_budget_closes_chunks_below_the_cluster_cap() {
+        let b = tiny_batches();
+        // 27 * 8 = 216 bytes per approx cluster; a 500-byte budget
+        // admits two per chunk even though the cluster cap allows 100.
+        let plans = plan_chunks(&approx_issue(5, &b), &b, 27, 100, Some(500));
+        assert_eq!(
+            plans.iter().map(|p| p.len).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+        assert!(plans.iter().all(|p| p.bytes <= 500));
+        assert_eq!(plans.iter().map(|p| p.messages).sum::<u64>(), 5);
+
+        // Direct clusters: 4 particles × 32 bytes = 128 bytes each.
+        let plans = plan_chunks(&direct_issue(5, 4, &b), &b, 27, 100, Some(300));
+        assert_eq!(
+            plans.iter().map(|p| p.len).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+        assert!(plans.iter().all(|p| p.bytes <= 300));
+        assert_eq!(plans.iter().map(|p| p.fetched_particles).sum::<u64>(), 20);
+    }
+
+    #[test]
+    fn oversized_single_cluster_still_gets_its_own_chunk() {
+        let b = tiny_batches();
+        // A 1-byte budget is below any single payload: the planner must
+        // degrade to one cluster per chunk (the minimum resident unit),
+        // never stall or emit empty plans.
+        let plans = plan_chunks(&approx_issue(3, &b), &b, 27, 100, Some(1));
+        assert_eq!(plans.len(), 3);
+        assert!(plans.iter().all(|p| p.len == 1));
+        assert!(plans.iter().all(|p| p.bytes == 216));
+    }
+
+    #[test]
+    fn budget_never_changes_chunk_totals() {
+        let b = tiny_batches();
+        let issue = direct_issue(7, 3, &b);
+        let base = plan_chunks(&issue, &b, 27, 4, None);
+        for budget in [None, Some(u64::MAX), Some(200), Some(96), Some(1)] {
+            let plans = plan_chunks(&issue, &b, 27, 4, budget);
+            assert!(plans.iter().all(|p| p.len > 0));
+            for field in [
+                |p: &ChunkPlan| p.messages,
+                |p: &ChunkPlan| p.bytes,
+                |p: &ChunkPlan| p.fetched_particles,
+                |p: &ChunkPlan| p.launches,
+                |p: &ChunkPlan| p.eval_targets,
+                |p: &ChunkPlan| p.eval_sources,
+                |p: &ChunkPlan| p.interactions,
+            ] {
+                assert_eq!(
+                    plans.iter().map(field).sum::<u64>(),
+                    base.iter().map(field).sum::<u64>(),
+                    "per-chunk cost totals must be budget-invariant"
+                );
+            }
+        }
     }
 }

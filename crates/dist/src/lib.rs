@@ -79,6 +79,43 @@
 //! cached RCB partition so the domain decomposition can be refreshed on
 //! a cadence instead of every step.
 //!
+//! ## Memory-bounded LET streaming
+//!
+//! By default every rank retains its whole LET (all fetched charges and
+//! particles) through evaluation, so peak resident remote payload grows
+//! with the surface of the rank's region — the wall between the 32-rank
+//! harness and the paper's billion-particle runs. Setting
+//! [`DistConfig::let_memory_budget`] switches the remote path to
+//! **evaluate-and-discard streaming**: each fetch chunk (capped at the
+//! budget in payload bytes) is landed in its own passive-target epoch,
+//! its clusters are evaluated into persistent batch-order partials, and
+//! its payload is dropped before the next chunk lands. The peak
+//! resident payload — reported per rank as
+//! [`RankReport::peak_let_bytes`] — is then the largest single chunk
+//! instead of the whole LET.
+//!
+//! Streaming is **bitwise invisible** everywhere except that peak and
+//! the pipelined clock's chunk granularity: the same gets run in the
+//! same order (identical [`TrafficMatrix`]), and each target slot
+//! accumulates the same per-cluster contributions in the same ascending
+//! cluster order, so potentials, forces, trajectories, op counts, and
+//! the serial phase clocks are identical at every budget, `None`
+//! included (`tests/streaming.rs` pins this across budgets × rank
+//! counts × pool sizes).
+//!
+//! ## Node×GPU hierarchy
+//!
+//! [`DistConfig::gpus_per_node`] `> 1` models multi-GPU nodes: the
+//! decomposition becomes a two-level RCB (`rcb_partition_two_level` —
+//! bisection across nodes, then across each node's GPUs, leaf rank
+//! `node·g + gpu`), and every one-sided operation is priced on the link
+//! its (origin, target) pair actually crosses — the PCIe/shared-memory
+//! [`DistConfig::intranode_net`] when the ranks share a node, the
+//! fabric [`DistConfig::net`] otherwise — in both the serial
+//! `setup_comm_s` and the pipelined clock ([`DistConfig::link`]).
+//! `mpi_sim::NodeMap` aggregates the recorded [`TrafficMatrix`]
+//! per-node so reports can split inter- from intra-node bytes.
+//!
 //! ## Example
 //!
 //! Two simulated ranks evaluating Coulomb potentials, with the traffic
@@ -119,11 +156,11 @@ use bltc_gpu::{GpuEngine, GpuSimBreakdown};
 use gpu_sim::DeviceSpec;
 use mpi_sim::runtime::TrafficMatrix;
 use mpi_sim::{run_spmd, Comm, NetworkSpec, Window};
-use rcb::{partition_particles, rcb_partition, RcbPartition};
+use rcb::{partition_particles, rcb_partition, rcb_partition_two_level, RcbPartition};
 
 use letree::{
     eval_remote_field_into, eval_remote_into, issue_remote_let, land_remote_let, plan_chunks,
-    CommTally, LetPlan, NodeMeta, RemoteLet,
+    stream_remote_let, stream_remote_let_field, CommTally, LetPlan, NodeMeta, RemoteLet,
 };
 use model::{pipelined_clock, ChunkCost, LetFetchPlan};
 
@@ -146,11 +183,37 @@ pub struct DistConfig {
     /// run in the same order); it only sets the granularity at which
     /// the pipelined clock can overlap landing data with evaluation.
     pub let_chunk: usize,
+    /// Memory budget for resident remote-LET payload bytes per rank.
+    ///
+    /// `None` (the default) retains every LET through evaluation — peak
+    /// resident payload is the whole LET. `Some(b)` switches the remote
+    /// path to **streaming** (evaluate-and-discard): each fetch chunk is
+    /// landed, evaluated, and dropped before the next lands, and the
+    /// chunk planner additionally caps chunk payloads at `b` bytes (a
+    /// single cluster whose payload alone exceeds `b` still travels as
+    /// its own over-budget chunk — the minimum resident unit). Results,
+    /// forces, op counts, and recorded traffic are **bitwise identical**
+    /// at every budget including `None`; only
+    /// [`RankReport::peak_let_bytes`] and the pipelined clock's chunk
+    /// granularity respond to it.
+    pub let_memory_budget: Option<u64>,
+    /// GPUs (leaf ranks) per compute node of the two-level node×GPU
+    /// hierarchy. `1` models the flat one-GPU-per-node world of the
+    /// paper's Figs. 5–6; `g > 1` decomposes with RCB across nodes
+    /// first and then across the `g` GPUs of each node, and prices
+    /// one-sided traffic between ranks sharing a node with
+    /// [`DistConfig::intranode_net`] instead of the fabric.
+    pub gpus_per_node: usize,
+    /// Interconnect model for rank pairs that share a compute node
+    /// (PCIe peer-to-peer / shared-memory MPI). Only consulted when
+    /// `gpus_per_node > 1`.
+    pub intranode_net: NetworkSpec,
 }
 
 impl DistConfig {
     /// SDSC Comet, the paper's scaling platform (Figs. 5–6): one Tesla
-    /// P100 per rank on FDR InfiniBand.
+    /// P100 per rank on FDR InfiniBand, flat decomposition, LETs
+    /// retained in full.
     pub fn comet(params: BltcParams) -> Self {
         let spec = DeviceSpec::p100();
         Self {
@@ -160,6 +223,46 @@ impl DistConfig {
             streams: spec.num_streams,
             host: HostModel::default(),
             let_chunk: 32,
+            let_memory_budget: None,
+            gpus_per_node: 1,
+            intranode_net: NetworkSpec::intranode_p2p(),
+        }
+    }
+
+    /// The network model pricing a one-sided operation between two leaf
+    /// ranks: the intra-node path when both live on the same compute
+    /// node (`rank / gpus_per_node` agrees), the inter-node fabric
+    /// otherwise. With `gpus_per_node == 1` every remote pair crosses
+    /// the fabric, reproducing the flat pricing exactly.
+    pub fn link(&self, origin: usize, target: usize) -> &NetworkSpec {
+        let g = self.gpus_per_node.max(1);
+        if g > 1 && origin / g == target / g {
+            &self.intranode_net
+        } else {
+            &self.net
+        }
+    }
+
+    /// The domain decomposition this config implies for `ranks` leaf
+    /// ranks: flat RCB when `gpus_per_node == 1`, otherwise the
+    /// two-level node×GPU RCB (bisection across nodes first, then
+    /// across each node's GPUs; leaf rank `node · g + gpu`).
+    ///
+    /// # Panics
+    ///
+    /// With `gpus_per_node > 1`, panics unless `ranks` is a whole
+    /// number of nodes.
+    pub fn partition(&self, ps: &ParticleSet, ranks: usize) -> RcbPartition {
+        let g = self.gpus_per_node.max(1);
+        if g == 1 {
+            rcb_partition(ps, ranks, None)
+        } else {
+            assert_eq!(
+                ranks % g,
+                0,
+                "rank count {ranks} is not a whole number of {g}-GPU nodes"
+            );
+            rcb_partition_two_level(ps, ranks / g, g, None)
         }
     }
 }
@@ -232,6 +335,15 @@ pub struct RankReport {
     pub let_messages: u64,
     /// Payload bytes of those one-sided operations.
     pub let_bytes: u64,
+    /// Peak resident remote-LET payload bytes on this rank (modified
+    /// charges + particles — the same device-staged classification the
+    /// traffic tally uses; skeletons and locally derived grids are
+    /// excluded). Retained mode holds every LET through evaluation, so
+    /// the peak is the whole payload; streaming mode
+    /// ([`DistConfig::let_memory_budget`]) holds one chunk at a time,
+    /// so the peak is the largest single chunk — `≤` the budget
+    /// whenever every single-cluster payload fits it.
+    pub peak_let_bytes: u64,
     /// Modeled host seconds (tree/batch/list build + LET assembly).
     pub setup_host_s: f64,
     /// Modeled communication seconds (α–β over this rank's one-sided
@@ -403,11 +515,16 @@ impl<K: GradientKernel + ?Sized> GradientKernel for KernelRef<'_, K> {
 struct RankSetup {
     tree: SourceTree,
     batches: TargetBatches,
+    /// Fully landed LETs — empty in streaming mode, where each chunk is
+    /// evaluated and discarded inside [`setup_rank`] instead.
     lets: Vec<RemoteLet>,
     /// Per-LET fetch schedules (chunk metadata for the pipelined clock).
     plans: Vec<LetPlan>,
     let_stats: LetStats,
     tally: CommTally,
+    /// Peak resident remote payload bytes (see
+    /// [`RankReport::peak_let_bytes`]).
+    peak_let_bytes: u64,
     // Held, not read: dropping a window before the final barrier would
     // tear down regions remote ranks may still be fetching from.
     _meta_win: Window<NodeMeta>,
@@ -415,20 +532,50 @@ struct RankSetup {
     _qhat_win: Window<f64>,
 }
 
+/// Where the streaming setup accumulates remote contributions while it
+/// lands-evaluates-discards each chunk: the rank's batch-order partial
+/// buffers plus its remote op/byte tallies, potential or field flavor.
+enum RemoteAccum<'a> {
+    Potential {
+        kernel: &'a dyn Kernel,
+        out: &'a mut [f64],
+        ops: &'a mut OpCounts,
+        device_bytes: &'a mut f64,
+    },
+    Field {
+        kernel: &'a dyn GradientKernel,
+        pot: &'a mut [f64],
+        gx: &'a mut [f64],
+        gy: &'a mut [f64],
+        gz: &'a mut [f64],
+        ops: &'a mut OpCounts,
+        device_bytes: &'a mut f64,
+    },
+}
+
 /// Steps 2–3 of the pipeline (shared by the potential and field paths):
 /// build local tree/batches/charges, expose the skeleton / particle /
 /// modified-charge windows, and construct this rank's LET view of every
 /// remote tree over passive-target RMA — staged as issue → plan → land
 /// per remote rank, retaining each LET's chunk schedule for the
-/// pipelined clock. `let_chunk` is the chunk granularity
-/// ([`DistConfig::let_chunk`]); it affects only the retained schedule,
-/// never the fetched data or the recorded traffic.
+/// pipelined clock.
+///
+/// With `stream: None` every LET is landed whole and returned in
+/// [`RankSetup::lets`] for the caller to evaluate. With `stream:
+/// Some(accum)` — the memory-bounded mode the caller selects iff
+/// [`DistConfig::let_memory_budget`] is set — each chunk is landed,
+/// evaluated into `accum`, and discarded immediately, so no LET is ever
+/// resident in full; `lets` comes back empty and the remote
+/// contributions are already in the accumulator's buffers. Both modes
+/// issue identical gets in identical order and record identical
+/// traffic.
 fn setup_rank(
     comm: &Comm,
     local: &ParticleSet,
-    params: &BltcParams,
-    let_chunk: usize,
+    cfg: &DistConfig,
+    mut stream: Option<RemoteAccum<'_>>,
 ) -> RankSetup {
+    let params = &cfg.params;
     let m3 = params.proxy_count();
 
     // ---- local structures (host) ------------------------------------
@@ -458,28 +605,93 @@ fn setup_rank(
     let mut tally = CommTally::default();
     let mut lets = Vec::with_capacity(comm.size().saturating_sub(1));
     let mut plans = Vec::with_capacity(comm.size().saturating_sub(1));
+    let mut let_stats = LetStats::default();
+    let mut peak_let_bytes = 0u64;
     for t in 0..comm.size() {
-        if t != comm.rank() {
-            let issue = issue_remote_let(t, &batches, params, &meta_win, &mut tally);
-            let chunks = plan_chunks(&issue, &batches, m3, let_chunk);
-            let skeleton_bytes = issue.skeleton_bytes;
+        if t == comm.rank() {
+            continue;
+        }
+        let issue = issue_remote_let(t, &batches, params, &meta_win, &mut tally);
+        let chunks = plan_chunks(&issue, &batches, m3, cfg.let_chunk, cfg.let_memory_budget);
+        let skeleton_bytes = issue.skeleton_bytes;
+        if let Some(accum) = stream.as_mut() {
+            // Evaluate-and-discard: the stats the retained path reads
+            // off the landed LET are derived from the issue stage and
+            // the chunk plans instead (same quantities by construction).
+            let_stats.remote_skeleton_nodes += issue.nodes.len() as u64;
+            let_stats.remote_approx_nodes += issue.approx.len() as u64;
+            let_stats.remote_direct_nodes += issue.direct.len() as u64;
+            let_stats.fetched_particles += chunks.iter().map(|c| c.fetched_particles).sum::<u64>();
+            let_stats.fetched_proxy_charges += (issue.approx.len() * m3) as u64;
+            let peak = match accum {
+                RemoteAccum::Potential {
+                    kernel,
+                    out,
+                    ops,
+                    device_bytes,
+                } => stream_remote_let(
+                    &issue,
+                    &chunks,
+                    &batches,
+                    &part_win,
+                    &qhat_win,
+                    m3,
+                    params,
+                    &mut tally,
+                    *kernel,
+                    out,
+                    ops,
+                    device_bytes,
+                ),
+                RemoteAccum::Field {
+                    kernel,
+                    pot,
+                    gx,
+                    gy,
+                    gz,
+                    ops,
+                    device_bytes,
+                } => stream_remote_let_field(
+                    &issue,
+                    &chunks,
+                    &batches,
+                    &part_win,
+                    &qhat_win,
+                    m3,
+                    params,
+                    &mut tally,
+                    *kernel,
+                    pot,
+                    gx,
+                    gy,
+                    gz,
+                    ops,
+                    device_bytes,
+                ),
+            };
+            peak_let_bytes = peak_let_bytes.max(peak);
+        } else {
             lets.push(land_remote_let(
                 issue, &chunks, &part_win, &qhat_win, m3, params, &mut tally,
             ));
-            plans.push(LetPlan {
-                target: t,
-                skeleton_bytes,
-                chunks,
-            });
         }
+        plans.push(LetPlan {
+            target: t,
+            skeleton_bytes,
+            chunks,
+        });
     }
-    let mut let_stats = LetStats::default();
-    for l in &lets {
-        let_stats.remote_skeleton_nodes += l.nodes.len() as u64;
-        let_stats.remote_approx_nodes += l.qhat.len() as u64;
-        let_stats.remote_direct_nodes += l.parts.len() as u64;
-        let_stats.fetched_particles += l.fetched_particles();
-        let_stats.fetched_proxy_charges += (l.qhat.len() * m3) as u64;
+    if stream.is_none() {
+        for l in &lets {
+            let_stats.remote_skeleton_nodes += l.nodes.len() as u64;
+            let_stats.remote_approx_nodes += l.qhat.len() as u64;
+            let_stats.remote_direct_nodes += l.parts.len() as u64;
+            let_stats.fetched_particles += l.fetched_particles();
+            let_stats.fetched_proxy_charges += (l.qhat.len() * m3) as u64;
+        }
+        // Every LET stays resident through evaluation: the peak is the
+        // whole device-staged payload.
+        peak_let_bytes = tally.device_bytes;
     }
 
     RankSetup {
@@ -489,6 +701,7 @@ fn setup_rank(
         plans,
         let_stats,
         tally,
+        peak_let_bytes,
         _meta_win: meta_win,
         _part_win: part_win,
         _qhat_win: qhat_win,
@@ -521,12 +734,14 @@ impl RankClocks {
 #[allow(clippy::too_many_arguments)]
 fn model_rank_clocks(
     cfg: &DistConfig,
+    rank: usize,
     sim: &GpuSimBreakdown,
     local_len: usize,
     levels: usize,
     ops: &OpCounts,
     let_stats: &LetStats,
     tally: &CommTally,
+    plans: &[LetPlan],
     remote_flops: f64,
     remote_device_bytes: f64,
     remote_launches: u64,
@@ -537,7 +752,27 @@ fn model_rank_clocks(
         ops.kernel_launches,
         let_stats.fetched_particles,
     );
-    let setup_comm_s = cfg.net.seconds_for(tally.messages, tally.bytes);
+    // Price each LET's traffic on the link its (rank, target) pair
+    // actually crosses: intra-node P2P between ranks sharing a node,
+    // the fabric otherwise. Messages and bytes are summed per target as
+    // integers before one α–β evaluation per target, so the clock is
+    // independent of chunk granularity (and hence of the memory
+    // budget); with `gpus_per_node == 1` it degenerates to pricing the
+    // whole tally on the fabric, per target.
+    let mut setup_comm_s = 0.0;
+    let (mut msgs_total, mut bytes_total) = (0u64, 0u64);
+    for p in plans {
+        let msgs = 1 + p.chunks.iter().map(|c| c.messages).sum::<u64>();
+        let bytes = p.skeleton_bytes + p.chunks.iter().map(|c| c.bytes).sum::<u64>();
+        setup_comm_s += cfg.link(rank, p.target).seconds_for(msgs, bytes);
+        msgs_total += msgs;
+        bytes_total += bytes;
+    }
+    debug_assert_eq!(
+        (msgs_total, bytes_total),
+        (tally.messages, tally.bytes),
+        "per-target LET schedules must cover the rank's whole one-sided tally"
+    );
     let stage_let_s = if tally.device_bytes > 0 {
         cfg.spec.transfer_seconds(tally.device_bytes as f64)
     } else {
@@ -634,7 +869,7 @@ fn decompose(ps: &ParticleSet, ranks: usize, cfg: &DistConfig) -> (RcbPartition,
         ps.len()
     );
     cfg.params.validate();
-    let part = rcb_partition(ps, ranks, None);
+    let part = cfg.partition(ps, ranks);
     let locals = partition_particles(ps, &part);
     (part, locals)
 }
@@ -662,7 +897,25 @@ pub fn run_distributed<K: Kernel + ?Sized>(
         let kernel: &dyn Kernel = &kref;
 
         // ---- setup: local structures, windows, LETs -----------------
-        let setup = setup_rank(&comm, local, &params, cfg.let_chunk);
+        // Streaming mode evaluates remote chunks into `remote_pot`
+        // (batch order) during setup itself; retained mode fills it
+        // from the landed LETs below. Either way it holds the same
+        // per-LET, per-cluster accumulation by the time it is merged.
+        let mut remote_pot = vec![0.0; local.len()];
+        let mut remote_ops = OpCounts::default();
+        let mut device_bytes = 0.0;
+        let streaming = cfg.let_memory_budget.is_some();
+        let setup = setup_rank(
+            &comm,
+            local,
+            cfg,
+            streaming.then_some(RemoteAccum::Potential {
+                kernel,
+                out: &mut remote_pot,
+                ops: &mut remote_ops,
+                device_bytes: &mut device_bytes,
+            }),
+        );
 
         // ---- local evaluation on the simulated GPU ------------------
         let gpu = GpuEngine::with_spec(params, cfg.spec)
@@ -671,20 +924,17 @@ pub fn run_distributed<K: Kernel + ?Sized>(
 
         // ---- remote (LET) contributions -----------------------------
         let mut potentials = gpu.result.potentials;
-        let mut remote_ops = OpCounts::default();
-        let mut device_bytes = 0.0;
-        if !setup.lets.is_empty() {
-            let mut remote_pot = vec![0.0; local.len()]; // batch order
-            for l in &setup.lets {
-                eval_remote_into(
-                    l,
-                    &setup.batches,
-                    kernel,
-                    &mut remote_pot,
-                    &mut remote_ops,
-                    &mut device_bytes,
-                );
-            }
+        for l in &setup.lets {
+            eval_remote_into(
+                l,
+                &setup.batches,
+                kernel,
+                &mut remote_pot,
+                &mut remote_ops,
+                &mut device_bytes,
+            );
+        }
+        if comm.size() > 1 {
             for (p, r) in potentials
                 .iter_mut()
                 .zip(setup.batches.scatter_to_original(&remote_pot))
@@ -698,12 +948,14 @@ pub fn run_distributed<K: Kernel + ?Sized>(
         let levels = gpu.result.tree_stats.max_level + 1;
         let clocks = model_rank_clocks(
             cfg,
+            rank,
             &gpu.sim,
             local.len(),
             levels,
             &ops,
             &setup.let_stats,
             &setup.tally,
+            &setup.plans,
             remote_ops.compute_flops(kernel, true),
             device_bytes,
             remote_ops.kernel_launches,
@@ -712,6 +964,7 @@ pub fn run_distributed<K: Kernel + ?Sized>(
         debug_assert_plans_reconcile(&setup, &fetch_plans, &remote_ops, device_bytes);
         let pipeline = pipelined_clock(
             cfg,
+            rank,
             &gpu.sim,
             local.len(),
             levels,
@@ -767,6 +1020,7 @@ fn make_rank_report(
         let_stats: setup.let_stats,
         let_messages: setup.tally.messages,
         let_bytes: setup.tally.bytes,
+        peak_let_bytes: setup.peak_let_bytes,
         setup_host_s: clocks.setup_host_s,
         setup_comm_s: clocks.setup_comm_s,
         setup_stage_s: clocks.setup_stage_s,
@@ -866,7 +1120,29 @@ pub fn eval_field_rank(
     let params = cfg.params;
 
     // ---- setup: local structures, windows, LETs ---------------------
-    let setup = setup_rank(comm, local, &params, cfg.let_chunk);
+    // Batch-order accumulators for the four remote outputs. Streaming
+    // mode fills them chunk by chunk during setup; retained mode fills
+    // them from the landed LETs below — identical accumulation either
+    // way.
+    let n = local.len();
+    let (mut rp, mut rx, mut ry, mut rz) = (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+    let mut remote_ops = OpCounts::default();
+    let mut device_bytes = 0.0;
+    let streaming = cfg.let_memory_budget.is_some();
+    let setup = setup_rank(
+        comm,
+        local,
+        cfg,
+        streaming.then_some(RemoteAccum::Field {
+            kernel,
+            pot: &mut rp,
+            gx: &mut rx,
+            gy: &mut ry,
+            gz: &mut rz,
+            ops: &mut remote_ops,
+            device_bytes: &mut device_bytes,
+        }),
+    );
 
     // ---- local evaluation on the simulated GPU ----------------------
     let gpu = GpuEngine::with_spec(params, cfg.spec)
@@ -875,26 +1151,20 @@ pub fn eval_field_rank(
 
     // ---- remote (LET) contributions ---------------------------------
     let mut field = gpu.field;
-    let mut remote_ops = OpCounts::default();
-    let mut device_bytes = 0.0;
-    if !setup.lets.is_empty() {
-        // Batch-order accumulators for the four outputs.
-        let n = local.len();
-        let (mut rp, mut rx, mut ry, mut rz) =
-            (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]);
-        for l in &setup.lets {
-            eval_remote_field_into(
-                l,
-                &setup.batches,
-                kernel,
-                &mut rp,
-                &mut rx,
-                &mut ry,
-                &mut rz,
-                &mut remote_ops,
-                &mut device_bytes,
-            );
-        }
+    for l in &setup.lets {
+        eval_remote_field_into(
+            l,
+            &setup.batches,
+            kernel,
+            &mut rp,
+            &mut rx,
+            &mut ry,
+            &mut rz,
+            &mut remote_ops,
+            &mut device_bytes,
+        );
+    }
+    if comm.size() > 1 {
         let add = |dst: &mut [f64], src: Vec<f64>| {
             for (d, s) in dst.iter_mut().zip(src) {
                 *d += s;
@@ -914,12 +1184,14 @@ pub fn eval_field_rank(
     let levels = gpu.tree_stats.max_level + 1;
     let clocks = model_rank_clocks(
         cfg,
+        comm.rank(),
         &gpu.sim,
         local.len(),
         levels,
         &ops,
         &setup.let_stats,
         &setup.tally,
+        &setup.plans,
         remote_ops.field_flops(kernel, true),
         device_bytes,
         remote_ops.kernel_launches,
@@ -928,6 +1200,7 @@ pub fn eval_field_rank(
     debug_assert_plans_reconcile(&setup, &fetch_plans, &remote_ops, device_bytes);
     let pipeline = pipelined_clock(
         cfg,
+        comm.rank(),
         &gpu.sim,
         local.len(),
         levels,
@@ -1151,6 +1424,97 @@ mod tests {
         assert!(relative_l2_error(&exact.gx, &rep.field.gx) < 1e-3, "gx");
         assert!(relative_l2_error(&exact.gy, &rep.field.gy) < 1e-3, "gy");
         assert!(relative_l2_error(&exact.gz, &rep.field.gz) < 1e-3, "gz");
+    }
+
+    #[test]
+    fn streaming_is_bitwise_invisible_and_bounds_peak_memory() {
+        let ps = ParticleSet::random_cube(1000, 10);
+        let base = cfg();
+        let retained = run_distributed(&ps, 3, &base, &Coulomb);
+        // Tight but feasible: well under the retained peaks, above any
+        // single cluster payload (proxy m³·8 and leaf-cap particles).
+        let budget = 16 * 1024;
+        let streamed = run_distributed(
+            &ps,
+            3,
+            &DistConfig {
+                let_memory_budget: Some(budget),
+                ..base
+            },
+            &Coulomb,
+        );
+        assert_eq!(retained.potentials, streamed.potentials);
+        assert_eq!(retained.total_s, streamed.total_s);
+        assert_eq!(retained.traffic, streamed.traffic);
+        for (r, s) in retained.ranks.iter().zip(&streamed.ranks) {
+            assert_eq!(r.ops, s.ops);
+            assert_eq!(r.let_stats.fetched_particles, s.let_stats.fetched_particles);
+            assert_eq!(r.total(), s.total());
+            // Retained mode holds the whole payload; streaming holds at
+            // most one chunk, within the budget.
+            assert_eq!(r.peak_let_bytes, r.let_bytes - skeleton_bytes_of(r));
+            assert!(
+                s.peak_let_bytes <= budget,
+                "rank {}: peak {} > budget {budget}",
+                s.rank,
+                s.peak_let_bytes
+            );
+            assert!(s.peak_let_bytes > 0);
+            assert!(s.peak_let_bytes < r.peak_let_bytes);
+        }
+    }
+
+    /// Payload (device-staged) bytes of a rank = total one-sided bytes
+    /// minus the skeleton gets, reconstructed from the LET stats.
+    fn skeleton_bytes_of(r: &RankReport) -> u64 {
+        r.let_stats.remote_skeleton_nodes * std::mem::size_of::<letree::NodeMeta>() as u64
+    }
+
+    #[test]
+    fn two_level_hierarchy_prices_intranode_traffic_cheaper() {
+        let ps = ParticleSet::random_cube(1200, 11);
+        let hier = DistConfig {
+            gpus_per_node: 2,
+            ..cfg()
+        };
+        // Same two-level partition, but intra-node pairs priced on the
+        // fabric — isolates the pricing term from the decomposition.
+        let flat_priced = DistConfig {
+            intranode_net: hier.net,
+            ..hier
+        };
+        let a = run_distributed(&ps, 4, &hier, &Coulomb);
+        let b = run_distributed(&ps, 4, &flat_priced, &Coulomb);
+        // Pricing never touches data: identical potentials and traffic.
+        assert_eq!(a.potentials, b.potentials);
+        assert_eq!(a.traffic, b.traffic);
+        for (ra, rb) in a.ranks.iter().zip(&b.ranks) {
+            // Every rank has one same-node peer with nonzero traffic, so
+            // the cheap intra-node link must strictly lower its comm
+            // clock.
+            assert!(
+                ra.setup_comm_s < rb.setup_comm_s,
+                "rank {}: {} !< {}",
+                ra.rank,
+                ra.setup_comm_s,
+                rb.setup_comm_s
+            );
+            assert!(ra.pipelined_s() <= ra.total());
+        }
+        // And the hierarchy still computes the right answer.
+        let exact = direct_sum(&ps, &ps, &Coulomb);
+        assert!(relative_l2_error(&exact, &a.potentials) < 1e-3);
+    }
+
+    #[test]
+    fn hierarchy_rejects_partial_nodes() {
+        let ps = ParticleSet::random_cube(200, 12);
+        let hier = DistConfig {
+            gpus_per_node: 2,
+            ..cfg()
+        };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hier.partition(&ps, 3)));
+        assert!(err.is_err(), "3 ranks is not a whole number of 2-GPU nodes");
     }
 
     #[test]

@@ -203,7 +203,10 @@ pub struct PipelineReport {
 ///   unpacking; one core, serial, in that order.
 /// - **NIC** — skeleton gets as soon as the build exposes windows, then
 ///   each LET's payload chunks once its traversal has demanded them;
-///   serialized by the α–β model's assumption.
+///   serialized by the α–β model's assumption. Each get is priced on
+///   the link the (origin, target) pair actually crosses
+///   ([`DistConfig::link`]): the intra-node path when the two ranks
+///   share a compute node, the inter-node fabric otherwise.
 /// - **PCIe** — each chunk's staging share after it lands and unpacks.
 /// - **device** — the local block (HtD staging, precompute, local
 ///   compute) starting when the local lists exist, then remote-eval
@@ -215,8 +218,10 @@ pub struct PipelineReport {
 /// makespan cannot exceed the serial sum; the result is clamped to
 /// `serial_total_s` so the invariant survives floating-point
 /// reassociation.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn pipelined_clock(
     cfg: &DistConfig,
+    rank: usize,
     sim: &GpuSimBreakdown,
     n: usize,
     levels: usize,
@@ -234,7 +239,7 @@ pub(crate) fn pipelined_clock(
     // LET's traversal on the host as its skeleton lands.
     let mut traversal_done = Vec::with_capacity(plans.len());
     for p in plans {
-        let land = nic_free + cfg.net.seconds_for(1, p.skeleton_bytes);
+        let land = nic_free + cfg.link(rank, p.target).seconds_for(1, p.skeleton_bytes);
         nic_free = land;
         host_free = host_free.max(land) + h.per_launch_s * p.traversal_launches as f64;
         traversal_done.push(host_free);
@@ -267,8 +272,9 @@ pub(crate) fn pipelined_clock(
     let mut chunks = Vec::with_capacity(num_chunks);
     let mut last_land = 0.0f64;
     for (p, &traversed) in plans.iter().zip(&traversal_done) {
+        let link = cfg.link(rank, p.target);
         for c in &p.chunks {
-            let land = nic_free.max(traversed) + cfg.net.seconds_for(c.messages, c.bytes);
+            let land = nic_free.max(traversed) + link.seconds_for(c.messages, c.bytes);
             nic_free = land;
             last_land = land;
             let unpacked =
@@ -306,6 +312,19 @@ pub(crate) fn pipelined_clock(
     let dispatch =
         dispatch_remote_chunks(&cfg.spec, cfg.streams, local_start + local_block_s, &works);
     let raw = dispatch.done_s + sim.dtoh_potentials_s;
+
+    // `pipelined ≤ serial` holds structurally (every serial second
+    // appears in the DAG exactly once), so any real excess is a DAG
+    // accounting bug — a phase billed twice, or work that was never part
+    // of the serial sum. Fail loudly instead of letting the clamp below
+    // silently absorb it; the clamp stays only to iron out harmless fp
+    // reassociation at the equality boundary.
+    debug_assert!(
+        raw <= serial_total_s * (1.0 + 1e-9),
+        "pipelined clock ({raw:.9e}s) exceeds the serial phase sum \
+         ({serial_total_s:.9e}s): a phase is billed into the DAG that the \
+         serial accounting never charged"
+    );
 
     PipelineReport {
         pipelined_s: raw.min(serial_total_s),
@@ -358,6 +377,46 @@ mod tests {
         assert!(m.repartition_seconds(10_000, 1) > m.base_s);
         // Deterministic, like every clock in the workspace.
         assert_eq!(base, m.repartition_seconds(10_000, 4));
+    }
+
+    /// A deliberately mis-billed phase DAG must trip the loud
+    /// `pipelined ≤ serial` check instead of being silently clamped: here
+    /// the chunk bills 10¹⁵ flops of device work while the claimed
+    /// serial phase sum is a nanosecond, so the excess is structural,
+    /// not fp reassociation.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn mis_billed_phase_trips_the_pipelined_clock_assert() {
+        let cfg = DistConfig::comet(bltc_core::config::BltcParams::new(0.8, 3, 60, 60));
+        let sim = GpuSimBreakdown {
+            setup_host_s: 0.0,
+            htod_sources_s: 0.0,
+            precompute_s: 0.0,
+            dtoh_charges_s: 0.0,
+            htod_let_s: 0.0,
+            compute_s: 0.0,
+            dtoh_potentials_s: 0.0,
+        };
+        let plans = vec![LetFetchPlan {
+            target: 1,
+            skeleton_bytes: 64,
+            traversal_launches: 1,
+            chunks: vec![ChunkCost {
+                messages: 1,
+                bytes: 1024,
+                fetched_particles: 0,
+                launches: 1,
+                exec_flops: 1e15,
+                eval_bytes: 1e9,
+            }],
+        }];
+        let trip = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pipelined_clock(&cfg, 0, &sim, 100, 3, 10, &plans, 1e-9)
+        }));
+        assert!(
+            trip.is_err(),
+            "understating the serial sum must fail the debug assert, not clamp silently"
+        );
     }
 
     #[test]

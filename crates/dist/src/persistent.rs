@@ -37,7 +37,9 @@
 //! Determinism: ranks reconstruct the global particle set in global-id
 //! order before running RCB, so the partition every rank computes is
 //! bit-identical to the one a driver-side
-//! [`rcb::rcb_partition`] over the same positions would produce —
+//! [`DistConfig::partition`] over the same positions would produce
+//! (flat RCB, or the two-level node×GPU split when the config sets
+//! `gpus_per_node > 1`) —
 //! resident local sets (kept sorted by global id) therefore match the
 //! respawn path's `partition_particles` output exactly, and a
 //! persistent run reproduces the respawn trajectory bitwise.
@@ -51,7 +53,7 @@ use bltc_core::kernel::GradientKernel;
 use bltc_core::particles::ParticleSet;
 use mpi_sim::runtime::TrafficMatrix;
 use mpi_sim::{Comm, EpochReport, Session};
-use rcb::{partition_particles, rcb_partition};
+use rcb::partition_particles;
 
 use crate::{eval_field_rank, DistConfig, RankReport};
 
@@ -216,7 +218,7 @@ impl FieldSession {
             );
         }
 
-        let part = rcb_partition(ps, ranks, None);
+        let part = cfg.partition(ps, ranks);
         let locals = partition_particles(ps, &part);
         let slots: Vec<Mutex<RankLocal>> = part
             .part_indices
@@ -325,9 +327,10 @@ impl FieldSession {
         let slots = Arc::clone(&self.slots);
         let n_global = self.n_global;
         let aux_cols = self.aux_cols;
+        let cfg = self.cfg;
         let er = self.session.run_epoch(move |comm| {
             let mut slot = slots[comm.rank()].lock();
-            migrate_rank(comm, &mut slot, n_global, aux_cols)
+            migrate_rank(comm, &mut slot, n_global, aux_cols, &cfg)
         });
 
         let stats = er.results;
@@ -403,6 +406,7 @@ fn migrate_rank(
     slot: &mut RankLocal,
     n_global: usize,
     aux_cols: usize,
+    cfg: &DistConfig,
 ) -> MigrationRankStats {
     let rank = comm.rank();
     let ranks = comm.size();
@@ -425,8 +429,9 @@ fn migrate_rank(
 
     // ---- 2. redundant deterministic RCB over the global set ---------
     // Reconstructing in global-id order makes every rank's partition
-    // bit-identical to a driver-side `rcb_partition` of the same
-    // positions (RCB reads positions only, so weights stay zero here).
+    // bit-identical to a driver-side `DistConfig::partition` of the same
+    // positions (RCB reads positions only, so weights stay zero here) —
+    // including the two-level node×GPU split when `gpus_per_node > 1`.
     let (mut gx, mut gy, mut gz) = (
         vec![0.0; n_global],
         vec![0.0; n_global],
@@ -441,7 +446,7 @@ fn migrate_rank(
         }
     }
     let gps = ParticleSet::new(gx, gy, gz, vec![0.0; n_global]);
-    let part = rcb_partition(&gps, ranks, None);
+    let part = cfg.partition(&gps, ranks);
 
     // ---- 3. ownership deltas: ship only the movers ------------------
     let w = 5 + aux_cols; // id, x, y, z, q, aux…
@@ -539,6 +544,7 @@ mod tests {
     use crate::run_distributed_field_on;
     use bltc_core::config::BltcParams;
     use bltc_core::kernel::Coulomb;
+    use rcb::rcb_partition;
 
     fn cfg() -> DistConfig {
         DistConfig::comet(BltcParams::new(0.8, 3, 60, 60))

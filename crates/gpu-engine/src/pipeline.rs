@@ -22,6 +22,12 @@
 //! compute but serializes every launch latency; with ≥2 streams the
 //! latencies vanish from the critical path — the per-stream win the
 //! distributed ablation sweeps measure.
+//!
+//! Chunks with zero launches are skipped **before** their ready-time
+//! gate. Memory-budgeted LET streaming can close a chunk around
+//! clusters that no remote-evaluation batch reads (pure skeleton
+//! padding), and such a chunk must neither stall the host clock at its
+//! land time nor emit phantom kernels.
 
 use gpu_sim::{DeviceSpec, LaunchConfig, Scheduler, WorkEstimate};
 
@@ -145,6 +151,32 @@ mod tests {
             "{} !< {}",
             four.done_s,
             one.done_s
+        );
+    }
+
+    #[test]
+    fn zero_launch_chunks_neither_gate_nor_launch() {
+        // A launch-free chunk landing absurdly late (as a tight memory
+        // budget can produce) must not drag the host clock to its ready
+        // time before the real chunk issues.
+        let chunks = [
+            RemoteChunkWork {
+                ready_s: 100.0,
+                exec_s: 0.0,
+                launches: 0,
+            },
+            RemoteChunkWork {
+                ready_s: 0.1,
+                exec_s: 1e-3,
+                launches: 2,
+            },
+        ];
+        let rep = dispatch_remote_chunks(&spec(), 2, 0.0, &chunks);
+        assert_eq!(rep.kernels, 2, "phantom kernels from the empty chunk");
+        assert!(
+            rep.done_s < 1.0,
+            "empty chunk gated the schedule: done at {}",
+            rep.done_s
         );
     }
 

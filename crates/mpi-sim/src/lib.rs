@@ -87,7 +87,7 @@ pub mod session;
 pub use comm::Comm;
 pub use netmodel::NetworkSpec;
 pub use rma::{Window, WindowReadGuard, WindowWriteGuard};
-pub use runtime::{run_spmd, SpmdResult, TrafficMatrix};
+pub use runtime::{run_spmd, NodeMap, SpmdResult, Traffic, TrafficMatrix};
 pub use session::{EpochReport, Session};
 
 /// Host-pool sizing policy for a world of `n_ranks` rank threads —
@@ -122,6 +122,19 @@ pub fn host_pool_workers(n_ranks: usize) -> usize {
     host_pool_workers_with(override_threads, n_ranks, avail)
 }
 
+/// Hierarchy-aware pool sizing for a two-level node×GPU world.
+///
+/// A hierarchical run executes `nodes × gpus_per_node` **leaf** rank
+/// threads — one per GPU — not one per node. The oversubscription guard
+/// in [`host_pool_workers`] divides the hardware parallelism by the
+/// runnable rank-thread count, so it must be fed the total leaf count:
+/// sizing from the top-level node count alone would oversubscribe the
+/// host by a factor of `gpus_per_node` (e.g. 2 nodes × 2 GPUs on an
+/// 8-way host is 4 runnable rank threads and 2 workers, not 4).
+pub fn host_pool_workers_hier(nodes: usize, gpus_per_node: usize) -> usize {
+    host_pool_workers(nodes.saturating_mul(gpus_per_node.max(1)))
+}
+
 /// The pure policy behind [`host_pool_workers`], with the environment
 /// override and hardware parallelism passed in explicitly (tests use
 /// this directly so they never mutate process-global state).
@@ -130,4 +143,34 @@ fn host_pool_workers_with(override_threads: Option<usize>, n_ranks: usize, avail
         return n.min(rayon::MAX_POOL_THREADS);
     }
     (avail / n_ranks.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hier_pool_sizing_uses_total_leaf_ranks() {
+        // 2 nodes × 2 GPUs = 4 leaf rank threads. On an 8-way host the
+        // guard must yield 8/4 = 2 workers — dividing by the top-level
+        // node count (8/2 = 4) would run 4 ranks × 4 workers and
+        // oversubscribe the host 2×.
+        assert_eq!(host_pool_workers_with(None, 2 * 2, 8), 2);
+        assert_ne!(
+            host_pool_workers_with(None, 2, 8),
+            host_pool_workers_with(None, 4, 8),
+            "node-count sizing and leaf-count sizing must actually differ at 2×2 on 8 hw threads"
+        );
+        // The public entry agrees with the flat entry fed total leaves,
+        // whatever the environment override says (both read the same).
+        assert_eq!(host_pool_workers_hier(2, 2), host_pool_workers(4));
+        assert_eq!(host_pool_workers_hier(3, 1), host_pool_workers(3));
+    }
+
+    #[test]
+    fn hier_pool_sizing_saturates_instead_of_overflowing() {
+        assert_eq!(host_pool_workers_with(None, usize::MAX, 16), 1);
+        // gpus_per_node == 0 is clamped to 1 rather than zeroing ranks.
+        assert_eq!(host_pool_workers_hier(4, 0), host_pool_workers(4));
+    }
 }

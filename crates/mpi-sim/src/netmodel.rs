@@ -40,6 +40,19 @@ impl NetworkSpec {
         }
     }
 
+    /// Intra-node GPU↔GPU path (PCIe peer-to-peer / shared-memory MPI):
+    /// far lower latency and higher effective bandwidth than any
+    /// fabric. The hierarchy-aware distributed model prices one-sided
+    /// traffic between ranks that share a compute node with this spec
+    /// instead of the inter-node fabric.
+    pub fn intranode_p2p() -> Self {
+        Self {
+            name: "intra-node P2P",
+            latency_s: 0.4e-6,
+            bandwidth_gbs: 12.0,
+        }
+    }
+
     /// Modeled seconds for one rank's outgoing traffic.
     pub fn origin_seconds(&self, traffic: &TrafficMatrix, origin: usize) -> f64 {
         let msgs = traffic.remote_messages_from(origin) as f64;
@@ -95,5 +108,15 @@ mod tests {
         let ib = NetworkSpec::infiniband_fdr();
         let eth = NetworkSpec::ethernet_10g();
         assert!(eth.seconds_for(100, 1_000_000) > ib.seconds_for(100, 1_000_000));
+    }
+
+    #[test]
+    fn intranode_path_is_cheaper_than_any_fabric() {
+        let p2p = NetworkSpec::intranode_p2p();
+        for fabric in [NetworkSpec::infiniband_fdr(), NetworkSpec::ethernet_10g()] {
+            assert!(p2p.latency_s < fabric.latency_s, "{}", fabric.name);
+            assert!(p2p.bandwidth_gbs > fabric.bandwidth_gbs, "{}", fabric.name);
+            assert!(p2p.seconds_for(100, 1_000_000) < fabric.seconds_for(100, 1_000_000));
+        }
     }
 }

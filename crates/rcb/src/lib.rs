@@ -104,6 +104,63 @@ pub fn rcb_partition(
     }
 }
 
+/// Two-level node×GPU decomposition — the hierarchy the paper's
+/// billion-particle runs imply (multiple GPUs per Comet node): RCB
+/// across `nodes` compute nodes first, then an independent RCB across
+/// `gpus_per_node` GPUs *within* each node's region. Leaf rank ids are
+/// laid out `node * gpus_per_node + gpu`, so `rank / gpus_per_node`
+/// recovers the node — the convention `mpi_sim`'s `NodeMap` encodes
+/// when it prices inter- vs intra-node traffic.
+///
+/// The result is a flat [`RcbPartition`] over `nodes × gpus_per_node`
+/// leaf parts, so every downstream consumer (window setup, LET
+/// construction, migration) is oblivious to the hierarchy. With
+/// `gpus_per_node == 1` this is exactly [`rcb_partition`] — same cuts,
+/// bitwise the same assignment — so flat configurations pay nothing.
+pub fn rcb_partition_two_level(
+    ps: &ParticleSet,
+    nodes: usize,
+    gpus_per_node: usize,
+    domain: Option<BoundingBox>,
+) -> RcbPartition {
+    assert!(nodes >= 1, "need at least one node");
+    assert!(gpus_per_node >= 1, "need at least one GPU per node");
+    if gpus_per_node == 1 {
+        return rcb_partition(ps, nodes, domain);
+    }
+    let top = rcb_partition(ps, nodes, domain);
+    let num_parts = nodes * gpus_per_node;
+    let mut assignment = vec![usize::MAX; ps.len()];
+    let mut regions = Vec::with_capacity(num_parts);
+    for (node, idx) in top.part_indices.iter().enumerate() {
+        if idx.is_empty() {
+            // Degenerate (fewer particles than nodes): the node's GPUs
+            // inherit the empty node region.
+            regions.extend((0..gpus_per_node).map(|_| top.regions[node]));
+            continue;
+        }
+        // The node's region — not the subset's tighter bounding box —
+        // is the inner domain, so the GPU regions tile the node region
+        // exactly as the node regions tile the global domain.
+        let sub = ps.subset(idx);
+        let subpart = rcb_partition(&sub, gpus_per_node, Some(top.regions[node]));
+        for (j, &orig) in idx.iter().enumerate() {
+            assignment[orig] = node * gpus_per_node + subpart.assignment[j];
+        }
+        regions.extend(subpart.regions);
+    }
+    let mut part_indices = vec![Vec::new(); num_parts];
+    for (i, &p) in assignment.iter().enumerate() {
+        debug_assert!(p < num_parts, "particle {i} unassigned");
+        part_indices[p].push(i);
+    }
+    RcbPartition {
+        assignment,
+        part_indices,
+        regions,
+    }
+}
+
 fn recurse(
     ps: &ParticleSet,
     indices: &mut [usize],
@@ -385,5 +442,86 @@ mod tests {
     #[should_panic(expected = "empty particle set")]
     fn empty_set_rejected() {
         let _ = rcb_partition(&ParticleSet::default(), 2, None);
+    }
+
+    #[test]
+    fn two_level_with_one_gpu_is_flat_rcb_bitwise() {
+        let ps = ParticleSet::random_cube(3000, 11);
+        let flat = rcb_partition(&ps, 6, None);
+        let hier = rcb_partition_two_level(&ps, 6, 1, None);
+        assert_eq!(flat.assignment, hier.assignment);
+        for (a, b) in flat.regions.iter().zip(&hier.regions) {
+            assert_eq!(a.min.x.to_bits(), b.min.x.to_bits());
+            assert_eq!(a.max.z.to_bits(), b.max.z.to_bits());
+        }
+    }
+
+    #[test]
+    fn two_level_parts_are_disjoint_and_cover() {
+        let ps = ParticleSet::random_cube(4000, 12);
+        let part = rcb_partition_two_level(&ps, 3, 4, None);
+        assert_eq!(part.num_parts(), 12);
+        let mut seen = vec![false; ps.len()];
+        for p in 0..part.num_parts() {
+            for &i in &part.part_indices[p] {
+                assert!(!seen[i], "particle {i} in two parts");
+                seen[i] = true;
+                assert_eq!(part.assignment[i], p);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        let (max, min) = part.balance();
+        assert!(max - min <= 12, "two-level imbalance {min}..{max}");
+    }
+
+    #[test]
+    fn two_level_gpu_regions_tile_their_node_region() {
+        // The GPUs of one node subdivide exactly the node's recursive
+        // region: areas sum and boxes nest.
+        let ps = unit_square_cloud(20_000, 13);
+        let domain = BoundingBox::new(Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 0.0));
+        let g = 3;
+        let top = rcb_partition(&ps, 2, Some(domain));
+        let part = rcb_partition_two_level(&ps, 2, g, Some(domain));
+        for node in 0..2 {
+            let node_area = area(&top.regions[node]);
+            let gpu_area: f64 = (0..g).map(|i| area(&part.regions[node * g + i])).sum();
+            assert!(
+                (gpu_area - node_area).abs() < 1e-9,
+                "node {node}: GPU regions must tile the node region"
+            );
+            for i in 0..g {
+                let r = &part.regions[node * g + i];
+                let n = &top.regions[node];
+                for d in 0..2 {
+                    assert!(r.min.coord(d) >= n.min.coord(d) - 1e-12);
+                    assert!(r.max.coord(d) <= n.max.coord(d) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_leaf_layout_is_node_major() {
+        // Leaf p lives on node p / gpus_per_node: all particles of leaf
+        // p lie inside node p/g's top-level region.
+        let ps = ParticleSet::random_cube(2000, 14);
+        let top = rcb_partition(&ps, 2, None);
+        let part = rcb_partition_two_level(&ps, 2, 2, None);
+        for (i, &leaf) in part.assignment.iter().enumerate() {
+            assert_eq!(
+                top.assignment[i],
+                leaf / 2,
+                "particle {i}: leaf {leaf} must refine its node part"
+            );
+        }
+    }
+
+    #[test]
+    fn two_level_deterministic() {
+        let ps = ParticleSet::random_cube(1500, 15);
+        let a = rcb_partition_two_level(&ps, 4, 2, None);
+        let b = rcb_partition_two_level(&ps, 4, 2, None);
+        assert_eq!(a.assignment, b.assignment);
     }
 }

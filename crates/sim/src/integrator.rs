@@ -2,7 +2,7 @@
 
 use bltc_dist::{run_distributed_field_on, DistConfig, DistFieldReport};
 use mpi_sim::runtime::TrafficMatrix;
-use rcb::{rcb_partition, RcbPartition};
+use rcb::RcbPartition;
 
 use crate::forces::ForceModel;
 use crate::state::SimState;
@@ -284,7 +284,7 @@ impl Integrator {
     pub fn new(cfg: SimConfig, state: &SimState, model: &ForceModel) -> Self {
         cfg.validate(state.len());
         let n = state.len();
-        let part = rcb_partition(&state.particles, cfg.ranks, None);
+        let part = cfg.dist.partition(&state.particles, cfg.ranks);
         let repartition_host_s = cfg.dist.host.repartition_seconds(n, cfg.ranks);
         let mut this = Self {
             cfg,
@@ -397,7 +397,7 @@ impl Integrator {
         let repartitioned = state.step.is_multiple_of(self.cfg.repartition_every);
         let mut repartition_host_s = 0.0;
         if repartitioned {
-            self.part = rcb_partition(&state.particles, self.cfg.ranks, None);
+            self.part = self.cfg.dist.partition(&state.particles, self.cfg.ranks);
             repartition_host_s = self
                 .cfg
                 .dist
