@@ -1,0 +1,176 @@
+//! Many-tenant service throughput: jobs/sec through the warm-world
+//! job engine vs a respawn baseline that stands up a fresh SPMD world
+//! for every job — the across-tenant analogue of the per-step
+//! amortization `dynamics_persistent` measures.
+//!
+//! Two phases over the same job list (a round-robin tenant mix of
+//! Plummer / electrolyte specs, `--distinct` distinct preparations so
+//! the cache gets both hits and misses):
+//!
+//! 1. **respawn baseline** — each job solo through
+//!    `PersistentIntegrator::new`, sequentially: world spawn + scenario
+//!    build + RCB per job, nothing shared;
+//! 2. **service** — the same jobs through [`bltc_service::SimService`]
+//!    with `--workers` workers: warm worlds recycled via the session
+//!    pool, preparations served from the cache.
+//!
+//! Final-state digests are asserted **bitwise identical** between the
+//! two phases while measuring — the bench validates the isolation
+//! contract it benchmarks. Results go to `--out`
+//! (default `BENCH_service.json`): jobs/sec both ways, worlds spawned
+//! vs reused, cache hits, and the spawn-amortization factor
+//! (baseline worlds / service worlds).
+//!
+//! ```text
+//! cargo run --release --bin service_throughput [-- --jobs 24 --workers 4]
+//! cargo run --release --bin service_throughput -- --smoke   # CI-sized
+//! ```
+
+use std::time::Instant;
+
+use bltc_bench::Args;
+use bltc_core::config::BltcParams;
+use bltc_dist::DistConfig;
+use bltc_service::{state_digest, Fault, JobSpec, Scenario, ServiceConfig, SimService, TenantId};
+use bltc_sim::PersistentIntegrator;
+
+fn job_list(jobs: usize, distinct: usize, n: usize, ranks: usize, steps: u64) -> Vec<JobSpec> {
+    let dist = DistConfig::comet(BltcParams::new(0.7, 4, 100, 100));
+    (0..jobs)
+        .map(|i| {
+            let d = i % distinct.max(1);
+            let scenario = if d.is_multiple_of(2) {
+                Scenario::Plummer {
+                    a: 1.0,
+                    softening: 0.05,
+                }
+            } else {
+                Scenario::Electrolyte {
+                    kappa: 0.5,
+                    softening: 0.05,
+                    thermal_speed: 0.1,
+                }
+            };
+            JobSpec {
+                scenario,
+                n,
+                seed: 40 + (d / 2) as u64,
+                ranks,
+                steps,
+                dt: 1e-3,
+                repartition_every: 2,
+                dist,
+                fault: Fault::None,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("smoke");
+    let jobs = args.usize("jobs", if smoke { 8 } else { 24 });
+    let tenants = args.usize("tenants", 4);
+    let workers = args.usize("workers", if smoke { 2 } else { 4 });
+    let n = args.usize("n", if smoke { 300 } else { 2_000 });
+    let ranks = args.usize("ranks", if smoke { 2 } else { 4 });
+    let steps = args.usize("steps", if smoke { 2 } else { 5 }) as u64;
+    let distinct = args.usize("distinct", 4);
+    let out_path = args
+        .get_opt("out")
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    let specs = job_list(jobs, distinct, n, ranks, steps);
+
+    println!("service_throughput — warm-world job engine vs respawn baseline");
+    println!(
+        "{jobs} jobs ({distinct} distinct preparations), {tenants} tenants, \
+         {workers} workers, N = {n}, {ranks} ranks, {steps} steps\n"
+    );
+
+    // ---- phase 1: respawn baseline ----------------------------------
+    let t0 = Instant::now();
+    let mut base_digests = Vec::with_capacity(jobs);
+    let mut base_spawn_s = 0.0;
+    for spec in &specs {
+        let (state, model) = spec.scenario.build(spec.n, spec.seed);
+        let mut integ = PersistentIntegrator::new(spec.sim_config(), &state, &model);
+        for _ in 0..spec.steps {
+            integ.step();
+        }
+        base_spawn_s += integ.report().spawn_host_s;
+        base_digests.push(state_digest(&integ.snapshot()));
+    }
+    let base_wall = t0.elapsed().as_secs_f64();
+    let base_rate = jobs as f64 / base_wall;
+    println!("respawn baseline: {base_wall:>8.3}s wall, {base_rate:>7.2} jobs/s, {jobs} worlds");
+
+    // ---- phase 2: the service ---------------------------------------
+    let svc = SimService::start(ServiceConfig {
+        workers,
+        queue_depth: jobs,
+        cache_capacity: distinct.max(1),
+        max_retries: 0,
+        start_paused: false,
+    });
+    let t0 = Instant::now();
+    let tickets: Vec<_> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            svc.submit((i % tenants.max(1)) as TenantId, *spec)
+                .expect("queue_depth admits every job")
+        })
+        .collect();
+    let outputs: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("job completes"))
+        .collect();
+    let svc_wall = t0.elapsed().as_secs_f64();
+    let stats = svc.shutdown();
+
+    // The bench validates the contract it measures: every job's bits
+    // match its solo respawn run.
+    let mut svc_spawn_s = 0.0;
+    for (i, out) in outputs.iter().enumerate() {
+        assert_eq!(
+            out.state_digest, base_digests[i],
+            "job {i}: service bits diverged from the respawn baseline"
+        );
+        svc_spawn_s += out.report.spawn_host_s;
+    }
+
+    let svc_rate = jobs as f64 / svc_wall;
+    let amortization = jobs as f64 / (stats.pool.spawned.max(1)) as f64;
+    println!(
+        "service:          {svc_wall:>8.3}s wall, {svc_rate:>7.2} jobs/s, \
+         {} worlds ({} reuses), {} cache hits",
+        stats.pool.spawned, stats.pool.reused, stats.cache_hits
+    );
+    println!(
+        "\nspawn amortization: {amortization:.1}x fewer worlds \
+         ({jobs} respawn vs {} service)",
+        stats.pool.spawned
+    );
+    println!(
+        "modeled spawn host seconds: {:.6} baseline vs {:.6} service",
+        base_spawn_s, svc_spawn_s
+    );
+    println!("(digests asserted bitwise identical between the two phases)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"service_throughput\",\n  \"smoke\": {smoke},\n  \
+         \"config\": {{ \"jobs\": {jobs}, \"tenants\": {tenants}, \"workers\": {workers}, \
+         \"n\": {n}, \"ranks\": {ranks}, \"steps\": {steps}, \"distinct\": {distinct} }},\n  \
+         \"respawn\": {{ \"wall_s\": {base_wall:.6}, \"jobs_per_s\": {base_rate:.3}, \
+         \"worlds_spawned\": {jobs}, \"modeled_spawn_s\": {base_spawn_s:.6} }},\n  \
+         \"service\": {{ \"wall_s\": {svc_wall:.6}, \"jobs_per_s\": {svc_rate:.3}, \
+         \"worlds_spawned\": {}, \"worlds_reused\": {}, \"cache_hits\": {}, \
+         \"cache_misses\": {}, \"modeled_spawn_s\": {svc_spawn_s:.6} }},\n  \
+         \"spawn_amortization\": {amortization:.3},\n  \
+         \"bitwise_identical_to_respawn\": true\n}}\n",
+        stats.pool.spawned, stats.pool.reused, stats.cache_hits, stats.cache_misses
+    );
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -12,6 +12,7 @@
 //! | `dynamics_steps`   | time-per-step scaling of the `bltc-sim` driver, 1→8 ranks |
 //! | `dynamics_persistent` | respawn-per-step vs persistent-session amortization, 1→8 ranks |
 //! | `host_parallel`    | **wall-clock** host-phase scaling over the work-stealing pool |
+//! | `service_throughput` | many-tenant job engine vs respawn-per-job baseline: jobs/sec, warm-world spawn amortization |
 //!
 //! Default problem sizes are scaled to a single-core container (the paper
 //! ran 1M–1B particles on Titan V / 32×P100); every binary takes `--n`

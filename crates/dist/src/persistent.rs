@@ -53,7 +53,7 @@ use bltc_core::kernel::GradientKernel;
 use bltc_core::particles::ParticleSet;
 use mpi_sim::runtime::TrafficMatrix;
 use mpi_sim::{Comm, EpochReport, Session};
-use rcb::partition_particles;
+use rcb::{partition_particles, RcbPartition};
 
 use crate::{eval_field_rank, DistConfig, RankReport};
 
@@ -202,6 +202,40 @@ impl FieldSession {
     /// [`crate::run_distributed_field`], or if an `aux` column's length
     /// differs from the particle count.
     pub fn launch(ps: &ParticleSet, aux: &[Vec<f64>], ranks: usize, cfg: &DistConfig) -> Self {
+        Self::launch_reusing(ps, aux, ranks, cfg, None, None)
+    }
+
+    /// [`FieldSession::launch`] with two optional shortcuts a warm-world
+    /// cache can supply:
+    ///
+    /// - `session`: a live world checked out of a pool (e.g.
+    ///   [`mpi_sim::SessionPool`]) instead of spawning rank threads —
+    ///   the session must have exactly `ranks` ranks and must not be
+    ///   poisoned. Everything rank-resident is rebuilt from `ps`/`aux`,
+    ///   so a recycled world carries **no** state from its previous
+    ///   tenant; only the thread spawn is skipped.
+    /// - `part`: a previously computed initial RCB partition of *these
+    ///   same positions* — skips the driver-side `cfg.partition` call.
+    ///   RCB is deterministic in the positions, so a cached partition is
+    ///   bitwise identical to a recomputed one; the caller is
+    ///   responsible for keying the cache on the inputs.
+    ///
+    /// Both `None` makes this exactly [`FieldSession::launch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid inputs as [`FieldSession::launch`],
+    /// on a session whose rank count differs from `ranks` or that is
+    /// poisoned, or on a partition whose shape does not cover
+    /// `ps`/`ranks`.
+    pub fn launch_reusing(
+        ps: &ParticleSet,
+        aux: &[Vec<f64>],
+        ranks: usize,
+        cfg: &DistConfig,
+        session: Option<Session>,
+        part: Option<&RcbPartition>,
+    ) -> Self {
         assert!(ranks >= 1, "need at least one rank");
         assert!(!ps.is_empty(), "cannot distribute an empty particle set");
         assert!(
@@ -218,8 +252,27 @@ impl FieldSession {
             );
         }
 
-        let part = cfg.partition(ps, ranks);
-        let locals = partition_particles(ps, &part);
+        let computed;
+        let part = match part {
+            Some(p) => {
+                assert_eq!(
+                    p.assignment.len(),
+                    ps.len(),
+                    "cached partition does not cover the particle set"
+                );
+                assert_eq!(
+                    p.part_indices.len(),
+                    ranks,
+                    "cached partition has the wrong rank count"
+                );
+                p
+            }
+            None => {
+                computed = cfg.partition(ps, ranks);
+                &computed
+            }
+        };
+        let locals = partition_particles(ps, part);
         let slots: Vec<Mutex<RankLocal>> = part
             .part_indices
             .iter()
@@ -238,8 +291,22 @@ impl FieldSession {
             })
             .collect();
 
+        let session = match session {
+            Some(s) => {
+                assert_eq!(
+                    s.size(),
+                    ranks,
+                    "reused session has {} ranks, job needs {ranks}",
+                    s.size()
+                );
+                assert!(!s.is_poisoned(), "cannot reuse a poisoned session");
+                s
+            }
+            None => Session::spawn(ranks),
+        };
+
         Self {
-            session: Session::spawn(ranks),
+            session,
             cfg: *cfg,
             slots: Arc::new(slots),
             n_global: ps.len(),
@@ -270,6 +337,21 @@ impl FieldSession {
     /// The distributed configuration shared by every epoch.
     pub fn config(&self) -> &DistConfig {
         &self.cfg
+    }
+
+    /// Whether a rank panic has poisoned the underlying world (see
+    /// [`mpi_sim::Session::is_poisoned`]). A poisoned session must not
+    /// be recycled to another tenant.
+    pub fn is_poisoned(&self) -> bool {
+        self.session.is_poisoned()
+    }
+
+    /// Tear down the driver-side state and hand the live world back —
+    /// the return half of warm-world reuse. The resident slots are
+    /// dropped; the rank threads stay up for the next
+    /// [`FieldSession::launch_reusing`].
+    pub fn into_session(self) -> Session {
+        self.session
     }
 
     /// Run a caller-defined epoch against the live ranks: `f` executes
@@ -635,6 +717,55 @@ mod tests {
         // Sent == received globally.
         let recv: u64 = mig.ranks.iter().map(|s| s.recv_particles).sum();
         assert_eq!(recv, mig.migrated_particles);
+    }
+
+    #[test]
+    fn relaunch_on_recycled_session_is_bitwise_identical() {
+        // Checkout → launch → eval → into_session → relaunch with the
+        // same inputs (and a cached partition) must reproduce the
+        // fresh-launch field and traffic bitwise: world reuse skips the
+        // thread spawn and the driver-side RCB, nothing numeric.
+        let ps = ParticleSet::random_cube(500, 21);
+        let c = cfg();
+
+        let mut fresh = FieldSession::launch(&ps, &[], 3, &c);
+        let fresh_rep = fresh.eval_field(&kernel());
+        let fresh_fields = fresh
+            .run_epoch(|_c, slot| slot.field.clone().expect("evaluated"))
+            .results;
+
+        let part = c.partition(&ps, 3);
+        let recycled = fresh.into_session();
+        let mut reused = FieldSession::launch_reusing(&ps, &[], 3, &c, Some(recycled), Some(&part));
+        let reused_rep = reused.eval_field(&kernel());
+        let reused_fields = reused
+            .run_epoch(|_c, slot| slot.field.clone().expect("evaluated"))
+            .results;
+
+        assert_eq!(
+            reused_rep.traffic.total_remote_bytes(),
+            fresh_rep.traffic.total_remote_bytes()
+        );
+        assert_eq!(reused_rep.total_s, fresh_rep.total_s);
+        for (a, b) in fresh_fields.iter().zip(&reused_fields) {
+            assert_eq!(a.potentials, b.potentials);
+            assert_eq!(a.gx, b.gx);
+            assert_eq!(a.gy, b.gy);
+            assert_eq!(a.gz, b.gz);
+        }
+        // Epoch counters persist across the relaunch (same live world).
+        assert!(reused.epochs_run() > 2, "recycled world kept its history");
+    }
+
+    #[test]
+    fn reusing_a_wrong_sized_session_is_rejected() {
+        let ps = ParticleSet::random_cube(100, 3);
+        let c = cfg();
+        let s = Session::spawn(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            FieldSession::launch_reusing(&ps, &[], 3, &c, Some(s), None)
+        }));
+        assert!(r.is_err(), "2-rank world cannot serve a 3-rank job");
     }
 
     #[test]

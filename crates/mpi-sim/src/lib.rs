@@ -80,14 +80,16 @@
 
 pub mod comm;
 pub mod netmodel;
+pub mod pool;
 pub mod rma;
 pub mod runtime;
 pub mod session;
 
 pub use comm::Comm;
 pub use netmodel::NetworkSpec;
+pub use pool::{PoolStats, SessionPool};
 pub use rma::{Window, WindowReadGuard, WindowWriteGuard};
-pub use runtime::{run_spmd, NodeMap, SpmdResult, Traffic, TrafficMatrix};
+pub use runtime::{run_spmd, NodeCoverageError, NodeMap, SpmdResult, Traffic, TrafficMatrix};
 pub use session::{EpochReport, Session};
 
 /// Host-pool sizing policy for a world of `n_ranks` rank threads —

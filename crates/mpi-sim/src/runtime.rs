@@ -87,6 +87,44 @@ impl NodeMap {
     }
 }
 
+/// A [`NodeMap`] that does not cover a [`TrafficMatrix`]: the map and
+/// the matrix disagree on the rank count, so some rank's traffic would
+/// be unattributable (map too small) or phantom nodes would appear
+/// (map too large). Returned by [`TrafficMatrix::aggregate_nodes`]
+/// instead of panicking — multi-tenant metering layers aggregate
+/// matrices that arrive from jobs with heterogeneous rank counts, and
+/// a mismatched map there is a recoverable caller error, not a runtime
+/// invariant violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCoverageError {
+    /// Leaf ranks the node map covers.
+    pub map_ranks: usize,
+    /// Ranks the traffic matrix actually has.
+    pub matrix_ranks: usize,
+}
+
+impl std::fmt::Display for NodeCoverageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.map_ranks < self.matrix_ranks {
+            write!(
+                f,
+                "node map covers only ranks 0..{} but the traffic matrix has {} ranks: \
+                 ranks {}..{} are unmapped",
+                self.map_ranks, self.matrix_ranks, self.map_ranks, self.matrix_ranks
+            )
+        } else {
+            write!(
+                f,
+                "node map covers ranks 0..{} but the traffic matrix has only {} ranks: \
+                 the map describes ranks that recorded no traffic",
+                self.map_ranks, self.matrix_ranks
+            )
+        }
+    }
+}
+
+impl std::error::Error for NodeCoverageError {}
+
 /// `size × size` matrix of [`Traffic`]; entry `[o][t]` is traffic with
 /// origin `o` and target `t`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -180,15 +218,19 @@ impl TrafficMatrix {
     /// `a` and target on node `b`, rank-local operations included on
     /// the diagonal).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `map` covers a different rank count than the matrix.
-    pub fn aggregate_nodes(&self, map: &NodeMap) -> TrafficMatrix {
-        assert_eq!(
-            map.ranks(),
-            self.size(),
-            "node map covers a different rank count than the matrix"
-        );
+    /// Returns a [`NodeCoverageError`] when `map` covers a different
+    /// rank count than the matrix — every rank of the matrix must be
+    /// mapped to a node (and the map must not invent extra ranks) for
+    /// the aggregation to be meaningful.
+    pub fn aggregate_nodes(&self, map: &NodeMap) -> Result<TrafficMatrix, NodeCoverageError> {
+        if map.ranks() != self.size() {
+            return Err(NodeCoverageError {
+                map_ranks: map.ranks(),
+                matrix_ranks: self.size(),
+            });
+        }
         let mut m = TrafficMatrix::new(map.num_nodes());
         for (o, row) in self.entries.iter().enumerate() {
             for (t, e) in row.iter().enumerate() {
@@ -197,7 +239,7 @@ impl TrafficMatrix {
                 d.bytes += e.bytes;
             }
         }
-        m
+        Ok(m)
     }
 
     /// Total remote (rank≠rank) traffic whose endpoints live on
@@ -649,7 +691,7 @@ mod tests {
         assert_eq!(inter.messages + intra.messages, m.total_remote_messages());
 
         // Node×node aggregation preserves totals (diagonal included).
-        let agg = m.aggregate_nodes(&map);
+        let agg = m.aggregate_nodes(&map).expect("map covers the matrix");
         assert_eq!(agg.size(), 2);
         assert_eq!(agg.get(0, 1).bytes, 50);
         assert_eq!(agg.get(0, 0).bytes, 100 + 999);
@@ -659,10 +701,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different rank count")]
-    fn node_aggregation_size_mismatch_rejected() {
+    fn node_aggregation_size_mismatch_is_a_descriptive_error() {
+        // Regression: an unmapped rank used to trip an assert (panic);
+        // metering layers aggregate matrices from jobs with varying
+        // rank counts and need a recoverable, descriptive error.
         let m = TrafficMatrix::new(4);
-        let _ = m.aggregate_nodes(&NodeMap::regular(6, 2));
+        let err = m
+            .aggregate_nodes(&NodeMap::regular(6, 2))
+            .expect_err("oversized map must be rejected");
+        assert_eq!(
+            err,
+            NodeCoverageError {
+                map_ranks: 6,
+                matrix_ranks: 4
+            }
+        );
+        assert!(
+            err.to_string().contains("only 4 ranks"),
+            "descriptive message, got: {err}"
+        );
+
+        // The unmapped-rank direction: map smaller than the matrix.
+        let err = m
+            .aggregate_nodes(&NodeMap::regular(2, 2))
+            .expect_err("unmapped ranks must be rejected");
+        assert!(
+            err.to_string().contains("ranks 2..4 are unmapped"),
+            "error names the unmapped ranks, got: {err}"
+        );
+
+        // A covering map still works and reports through Ok.
+        assert!(m.aggregate_nodes(&NodeMap::regular(4, 2)).is_ok());
     }
 
     #[test]

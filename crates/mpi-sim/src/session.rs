@@ -173,6 +173,14 @@ impl Session {
         self.epochs
     }
 
+    /// Whether a rank panic has poisoned this world. A poisoned session
+    /// rejects every further epoch (fail-fast on the first collective),
+    /// so pools must drop it instead of recycling it to the next job —
+    /// see [`crate::pool::SessionPool::checkin`].
+    pub fn is_poisoned(&self) -> bool {
+        self.world.barrier.poisoned_by().is_some()
+    }
+
     /// Submit one epoch: every rank runs `f` SPMD-style; blocks until
     /// all ranks return. The report carries the traffic recorded during
     /// this epoch only.

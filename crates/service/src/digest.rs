@@ -1,0 +1,88 @@
+//! Bit-exact digests of simulation results.
+//!
+//! The isolation harness compares full vectors, but the service also
+//! stamps every [`crate::JobOutput`] with a 64-bit FNV-1a digest of
+//! the final state so that golden trajectories can be committed as a
+//! single constant: any future change that perturbs even one ULP of
+//! one coordinate changes the digest. Floats are hashed by their IEEE
+//! bit patterns (`f64::to_bits`), so the digest distinguishes `-0.0`
+//! from `0.0` and every NaN payload — exactly the repo's bitwise
+//! contract, no epsilon anywhere.
+
+use bltc_core::field::FieldResult;
+use bltc_sim::SimState;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a stream of 64-bit words (byte-serialized little
+/// endian, so the digest is platform-stable).
+pub fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Digest of a mechanical state: positions, charges, velocities,
+/// masses (bit patterns, global order), then the step counter and the
+/// time bit pattern.
+pub fn state_digest(state: &SimState) -> u64 {
+    let cols = [
+        &state.particles.x,
+        &state.particles.y,
+        &state.particles.z,
+        &state.particles.q,
+        &state.vx,
+        &state.vy,
+        &state.vz,
+        &state.mass,
+    ];
+    fnv1a(
+        cols.iter()
+            .flat_map(|c| c.iter().map(|v| v.to_bits()))
+            .chain([state.step, state.time.to_bits()]),
+    )
+}
+
+/// Digest of a field evaluation: potentials then gradients, global
+/// order, bit patterns.
+pub fn field_digest(field: &FieldResult) -> u64 {
+    let cols = [&field.potentials, &field.gx, &field.gy, &field.gz];
+    fnv1a(cols.iter().flat_map(|c| c.iter().map(|v| v.to_bits())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bltc_core::particles::ParticleSet;
+
+    #[test]
+    fn digest_is_ulp_sensitive() {
+        let ps = ParticleSet::random_cube(40, 1);
+        let state = SimState::at_rest(ps.clone(), vec![1.0; 40]);
+        let d0 = state_digest(&state);
+        assert_eq!(d0, state_digest(&state), "deterministic");
+
+        let mut bumped = state.clone();
+        bumped.particles.x[17] = f64::from_bits(bumped.particles.x[17].to_bits() + 1);
+        assert_ne!(d0, state_digest(&bumped), "one ULP must flip the digest");
+
+        let mut signed = state.clone();
+        signed.vx[0] = -0.0; // at_rest gives +0.0
+        assert_ne!(d0, state_digest(&signed), "-0.0 and 0.0 are distinct");
+    }
+
+    #[test]
+    fn fnv_reference_vector() {
+        // FNV-1a of the empty stream is the offset basis; one zero word
+        // is eight zero bytes through the fold.
+        assert_eq!(fnv1a([]), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a([0]), fnv1a([]));
+        assert_ne!(fnv1a([1, 2]), fnv1a([2, 1]), "order matters");
+    }
+}

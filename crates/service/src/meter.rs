@@ -1,0 +1,109 @@
+//! Per-tenant metering, assembled from the layers that already count:
+//! every completed job's [`bltc_sim::SimReport`] carries the drained
+//! per-epoch [`mpi_sim::TrafficMatrix`] sums (LET traffic and
+//! migration traffic as separate phases) and the modeled phase clocks,
+//! so the meter is a fold over reports — it never counts anything
+//! itself, which is what makes the reconciliation test exact:
+//! `meter.rma_bytes + meter.migration_bytes` equals the sum of the
+//! tenant's drained matrices to the last byte.
+
+use bltc_sim::SimReport;
+
+/// Cumulative resource usage of one tenant across all its jobs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantMeter {
+    /// Jobs admitted (immediately or queued).
+    pub jobs_admitted: u64,
+    /// Jobs completed successfully.
+    pub jobs_completed: u64,
+    /// Jobs that failed permanently (retry budget exhausted).
+    pub jobs_failed: u64,
+    /// Submissions rejected at admission.
+    pub jobs_rejected: u64,
+    /// Velocity-Verlet steps integrated.
+    pub steps: u64,
+    /// Distributed force evaluations.
+    pub force_evals: u64,
+    /// One-sided LET messages (drained per-epoch matrix totals).
+    pub rma_messages: u64,
+    /// One-sided LET bytes.
+    pub rma_bytes: u64,
+    /// Migration-phase messages (coordinate gathers + delta exchanges).
+    pub migration_messages: u64,
+    /// Migration-phase bytes.
+    pub migration_bytes: u64,
+    /// Modeled device seconds: the bulk-synchronous GPU compute phase.
+    pub device_seconds: f64,
+    /// Modeled end-to-end seconds (host + communication + device).
+    pub modeled_seconds: f64,
+    /// SPMD worlds spawned for this tenant (cold checkouts).
+    pub world_spawns: u64,
+    /// Jobs served on a recycled warm world.
+    pub world_reuses: u64,
+    /// Jobs whose preparation came from the cache.
+    pub cache_hits: u64,
+    /// Jobs that had to build their preparation.
+    pub cache_misses: u64,
+    /// Attempts beyond the first across all jobs.
+    pub retries: u64,
+}
+
+impl TenantMeter {
+    /// Fold one completed job's report in. `world_reused` and
+    /// `cache_hit` describe how the *successful* attempt was served;
+    /// `retries` is the number of failed attempts before it.
+    pub fn absorb(
+        &mut self,
+        report: &SimReport,
+        world_reused: bool,
+        cache_hit: bool,
+        retries: u32,
+    ) {
+        self.jobs_completed += 1;
+        self.steps += report.steps;
+        self.force_evals += report.force_evals;
+        self.rma_messages += report.traffic.total_remote_messages();
+        self.rma_bytes += report.traffic.total_remote_bytes();
+        self.migration_messages += report.migration_traffic.total_remote_messages();
+        self.migration_bytes += report.migration_traffic.total_remote_bytes();
+        self.device_seconds += report.compute_s;
+        self.modeled_seconds += report.total_s;
+        self.world_spawns += report.world_spawns;
+        if world_reused {
+            self.world_reuses += 1;
+        }
+        if cache_hit {
+            self.cache_hits += 1;
+        } else {
+            self.cache_misses += 1;
+        }
+        self.retries += retries as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates_report_totals() {
+        let mut r = SimReport::starting(2, 0.0, 1, 0.5);
+        r.steps = 3;
+        r.force_evals = 4;
+        r.compute_s = 0.25;
+        r.total_s = 2.0;
+        let mut m = TenantMeter::default();
+        m.absorb(&r, false, false, 0);
+        m.absorb(&r, true, true, 2);
+        assert_eq!(m.jobs_completed, 2);
+        assert_eq!(m.steps, 6);
+        assert_eq!(m.force_evals, 8);
+        assert_eq!(m.world_spawns, 2);
+        assert_eq!(m.world_reuses, 1);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.retries, 2);
+        assert_eq!(m.device_seconds, 0.5);
+        assert_eq!(m.modeled_seconds, 4.0);
+    }
+}

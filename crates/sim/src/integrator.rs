@@ -210,7 +210,7 @@ impl SimReport {
     /// spawn accounting of the chosen stepping path (one world per
     /// evaluation for the respawn integrator, a single up-front spawn
     /// for a persistent session).
-    pub(crate) fn starting(
+    pub fn starting(
         ranks: usize,
         repartition_host_s: f64,
         world_spawns: u64,

@@ -32,10 +32,12 @@
 
 use std::sync::Arc;
 
+use bltc_core::field::FieldResult;
 use bltc_core::kernel::GradientKernel;
 use bltc_dist::{eval_field_rank, DistConfig, FieldSession, RankLocal, RankReport};
 use mpi_sim::runtime::TrafficMatrix;
-use mpi_sim::Comm;
+use mpi_sim::{Comm, Session};
+use rcb::RcbPartition;
 
 use crate::forces::ForceModel;
 use crate::integrator::{SimConfig, SimReport, StepReport};
@@ -109,6 +111,20 @@ struct EvalEpoch {
     traffic: TrafficMatrix,
 }
 
+/// Warm-world shortcuts for [`PersistentIntegrator::with_world`]: a
+/// live session checked out of a pool (skips the thread spawn, and the
+/// run's spawn accounting records **zero** world spawns) and/or a
+/// cached initial RCB partition of the same positions (skips the
+/// driver-side `partition` call). `WorldReuse::default()` is a plain
+/// [`PersistentIntegrator::new`].
+#[derive(Default)]
+pub struct WorldReuse {
+    /// A live world with exactly `cfg.ranks` ranks, not poisoned.
+    pub session: Option<Session>,
+    /// The initial RCB partition of the launch positions.
+    pub partition: Option<RcbPartition>,
+}
+
 /// A velocity-Verlet integrator over a persistent rank session. The
 /// mechanical state resides on the ranks for the whole run; the driver
 /// holds only configuration, the cumulative [`SimReport`], and the
@@ -132,6 +148,24 @@ impl PersistentIntegrator {
     /// spawn), evaluate initial forces on the ranks, and record the
     /// initial energy.
     pub fn new(cfg: SimConfig, state: &SimState, model: &ForceModel) -> Self {
+        Self::with_world(cfg, state, model, WorldReuse::default())
+    }
+
+    /// [`PersistentIntegrator::new`] with warm-world shortcuts: when
+    /// `reuse.session` carries a live world the thread spawn is skipped
+    /// and the report's spawn accounting records zero world spawns (the
+    /// spawn was paid by whoever created the session); when
+    /// `reuse.partition` carries the cached initial RCB of these same
+    /// positions, the driver-side partition call is skipped. Neither
+    /// shortcut touches any rank-side epoch, so the trajectory, the
+    /// energies, and the per-epoch traffic stay bitwise identical to a
+    /// cold start.
+    pub fn with_world(
+        cfg: SimConfig,
+        state: &SimState,
+        model: &ForceModel,
+        reuse: WorldReuse,
+    ) -> Self {
         cfg.validate(state.len());
         let n = state.len();
         let aux = vec![
@@ -144,10 +178,22 @@ impl PersistentIntegrator {
             vec![0.0; n],
         ];
         debug_assert_eq!(aux.len(), AUX_COLS);
-        let session = FieldSession::launch(&state.particles, &aux, cfg.ranks, &cfg.dist);
+        let reused_world = reuse.session.is_some();
+        let session = FieldSession::launch_reusing(
+            &state.particles,
+            &aux,
+            cfg.ranks,
+            &cfg.dist,
+            reuse.session,
+            reuse.partition.as_ref(),
+        );
 
         let repartition_host_s = cfg.dist.host.repartition_seconds(n, cfg.ranks);
-        let spawn_host_s = cfg.dist.host.world_spawn_seconds(n, cfg.ranks);
+        let (world_spawns, spawn_host_s) = if reused_world {
+            (0, 0.0)
+        } else {
+            (1, cfg.dist.host.world_spawn_seconds(n, cfg.ranks))
+        };
         let kernel = model.kernel_shared();
         let g0 = kernel.eval(0.0, 0.0, 0.0);
         let mut this = Self {
@@ -158,7 +204,7 @@ impl PersistentIntegrator {
             g0,
             step: state.step,
             time: state.time,
-            report: SimReport::starting(cfg.ranks, repartition_host_s, 1, spawn_host_s),
+            report: SimReport::starting(cfg.ranks, repartition_host_s, world_spawns, spawn_host_s),
         };
         let eval = this.eval_epoch(false);
         let e0 = eval.kinetic + this.pair_to_potential(eval.pair_sum);
@@ -180,6 +226,53 @@ impl PersistentIntegrator {
     /// Epochs the underlying session has executed.
     pub fn epochs_run(&self) -> u64 {
         self.session.epochs_run()
+    }
+
+    /// The underlying distributed session — the hook a job engine uses
+    /// for custom epochs (e.g. fault injection in tests) and poison
+    /// inspection. Epochs run through this handle share the resident
+    /// state with the integrator.
+    pub fn field_session(&mut self) -> &mut FieldSession {
+        &mut self.session
+    }
+
+    /// Whether a rank panic has poisoned the underlying world. A
+    /// poisoned integrator can no longer step; its world must not be
+    /// recycled.
+    pub fn is_poisoned(&self) -> bool {
+        self.session.is_poisoned()
+    }
+
+    /// Tear down the integrator and hand the live world back for reuse
+    /// (see [`bltc_dist::FieldSession::into_session`]).
+    pub fn into_session(self) -> Session {
+        self.session.into_session()
+    }
+
+    /// Gather the most recent field evaluation back into global
+    /// particle order — the per-tenant result channel of a job engine
+    /// (potentials and gradients of the final force evaluation). Costs
+    /// one epoch; the stepping path never does this.
+    pub fn last_field(&mut self) -> FieldResult {
+        let er = self
+            .session
+            .run_epoch(|_comm, slot| (slot.ids.clone(), slot.field.clone().expect("evaluated")));
+        let n: usize = er.results.iter().map(|(ids, _)| ids.len()).sum();
+        let mut out = FieldResult {
+            potentials: vec![0.0; n],
+            gx: vec![0.0; n],
+            gy: vec![0.0; n],
+            gz: vec![0.0; n],
+        };
+        for (ids, field) in er.results {
+            for (i, &id) in ids.iter().enumerate() {
+                out.potentials[id] = field.potentials[i];
+                out.gx[id] = field.gx[i];
+                out.gy[id] = field.gy[i];
+                out.gz[id] = field.gz[i];
+            }
+        }
+        out
     }
 
     fn pair_to_potential(&self, pair_sum: f64) -> f64 {

