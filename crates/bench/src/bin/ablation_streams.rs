@@ -34,6 +34,7 @@
 //! cargo run --release --bin ablation_streams -- --smoke   # CI-sized
 //! ```
 
+use bltc_bench::json::Json;
 use bltc_bench::{sci, Args};
 use bltc_core::kernel::{Coulomb, Kernel, Yukawa};
 use bltc_core::prelude::*;
@@ -197,26 +198,25 @@ fn single_gpu(n: usize, theta: f64, degree: usize, seed: u64) {
 }
 
 fn render_json(rows: &[Row], n: usize, theta: f64, degree: usize, smoke: bool) -> String {
-    let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"ablation_streams_multirank\",\n");
-    s.push_str(&format!(
-        "  \"n\": {n},\n  \"theta\": {theta},\n  \"degree\": {degree},\n  \"smoke\": {smoke},\n"
-    ));
-    s.push_str("  \"bitwise_identical_across_streams\": true,\n");
-    s.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"cap\": {}, \"ranks\": {}, \"streams\": {}, \
-             \"serial_s\": {:.9e}, \"pipelined_s\": {:.9e}, \"win_pct\": {:.2}}}{}\n",
-            r.cap,
-            r.ranks,
-            r.streams,
-            r.serial_s,
-            r.pipelined_s,
-            r.win_pct(),
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
-    }
-    s.push_str("  ]\n}\n");
-    s
+    let rows = rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("cap", Json::u(r.cap as u64))
+                .field("ranks", Json::u(r.ranks as u64))
+                .field("streams", Json::u(r.streams as u64))
+                .field("serial_s", Json::e(r.serial_s, 9))
+                .field("pipelined_s", Json::e(r.pipelined_s, 9))
+                .field("win_pct", Json::f(r.win_pct(), 2))
+        })
+        .collect();
+    Json::obj()
+        .field("bench", Json::s("ablation_streams_multirank"))
+        .field("n", Json::u(n as u64))
+        .field("theta", Json::Num(theta.to_string()))
+        .field("degree", Json::u(degree as u64))
+        .field("smoke", Json::b(smoke))
+        .field("bitwise_identical_across_streams", Json::b(true))
+        .field("rows", Json::arr(rows))
+        .render_bench()
 }

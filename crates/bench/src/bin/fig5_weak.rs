@@ -41,8 +41,13 @@
 //! footprint is scale-invariant, which is the whole point. Rows land in
 //! `--out` (default `BENCH_streaming.json`); `--smoke` shrinks sizes
 //! and hard-asserts `peak ≤ budget` on every rank.
+//!
+//! `--trace out.json` (either mode) exports the last swept
+//! configuration's per-rank span timeline as Perfetto-loadable Chrome
+//! trace-event JSON and prints the text flame summary.
 
-use bltc_bench::{sampled_gradient_error, sci, Args};
+use bltc_bench::json::Json;
+use bltc_bench::{sampled_gradient_error, sci, write_trace, Args};
 use bltc_core::engine::direct_sum_subset;
 use bltc_core::error::{sample_indices, sampled_relative_l2_error};
 use bltc_core::field::direct_sum_field;
@@ -85,6 +90,10 @@ fn main() {
         ranks_list.push(ranks_list.last().unwrap() * 2);
     }
 
+    // --trace keeps the spans of the last configuration swept (the
+    // largest Yukawa system) for the timeline export at the end.
+    let mut trace_spans = Vec::new();
+
     for kernel in &kernels {
         println!("== {} ==", kernel.name());
         if pipeline {
@@ -114,6 +123,11 @@ fn main() {
                         let exact = direct_sum_field(&ps.subset(idx), &ps, kernel.as_ref());
                         sampled_gradient_error(&exact, &rep.field, idx)
                     });
+                    trace_spans = rep
+                        .ranks
+                        .iter()
+                        .flat_map(|r| r.pipeline.spans.iter().copied())
+                        .collect();
                     (
                         rep.setup_s,
                         rep.precompute_s,
@@ -128,6 +142,11 @@ fn main() {
                         let exact = direct_sum_subset(&ps, idx, &ps, kernel.as_ref());
                         sampled_relative_l2_error(&exact, &rep.potentials, idx)
                     });
+                    trace_spans = rep
+                        .ranks
+                        .iter()
+                        .flat_map(|r| r.pipeline.spans.iter().copied())
+                        .collect();
                     (
                         rep.setup_s,
                         rep.precompute_s,
@@ -176,6 +195,7 @@ fn main() {
     println!("  - run time grows only modestly with rank count at fixed per-rank N (O(N log N))");
     println!("  - Yukawa times sit slightly above Coulomb times");
     println!("  - errors stay in the 4-6 digit band of the chosen (θ, n)");
+    write_trace(&args, &trace_spans);
 }
 
 /// One measured (or extrapolated) point of the streaming sweep.
@@ -224,6 +244,7 @@ fn run_streaming(args: &Args) {
     }
 
     let mut rows: Vec<StreamRow> = Vec::new();
+    let mut trace_spans = Vec::new();
     for &ranks in &ranks_list {
         let n = base * ranks;
         let ps = ParticleSet::random_cube(n, seed + ranks as u64);
@@ -231,6 +252,11 @@ fn run_streaming(args: &Args) {
         cfg.let_memory_budget = Some(budget);
         cfg.gpus_per_node = gpus_per_node;
         let rep = run_distributed(&ps, ranks, &cfg, &Coulomb);
+        trace_spans = rep
+            .ranks
+            .iter()
+            .flat_map(|r| r.pipeline.spans.iter().copied())
+            .collect();
         let peak = rep.ranks.iter().map(|r| r.peak_let_bytes).max().unwrap();
         for r in &rep.ranks {
             // The streaming contract: the resident footprint never
@@ -301,6 +327,7 @@ fn run_streaming(args: &Args) {
     let json = render_streaming_json(&rows, theta, degree, cap, budget, gpus_per_node, smoke);
     std::fs::write(&out_path, json).expect("write bench json");
     println!("wrote {out_path}");
+    write_trace(args, &trace_spans);
 }
 
 fn render_streaming_json(
@@ -312,30 +339,28 @@ fn render_streaming_json(
     gpus_per_node: usize,
     smoke: bool,
 ) -> String {
-    let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"fig5_weak_streaming\",\n");
-    s.push_str(&format!(
-        "  \"theta\": {theta},\n  \"degree\": {degree},\n  \"cap\": {cap},\n  \
-         \"let_memory_budget\": {budget},\n  \"gpus_per_node\": {gpus_per_node},\n  \
-         \"smoke\": {smoke},\n"
-    ));
-    s.push_str("  \"peak_within_budget\": true,\n");
-    s.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"ranks\": {}, \"per_rank\": {}, \"n_total\": {}, \
-             \"total_s\": {:.9e}, \"pipelined_s\": {:.9e}, \
-             \"peak_let_bytes_max\": {}, \"modeled\": {}}}{}\n",
-            r.ranks,
-            r.per_rank,
-            r.n_total,
-            r.total_s,
-            r.pipelined_s,
-            r.peak_let_bytes_max,
-            r.modeled,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
-    }
-    s.push_str("  ]\n}\n");
-    s
+    let rows = rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("ranks", Json::u(r.ranks as u64))
+                .field("per_rank", Json::u(r.per_rank as u64))
+                .field("n_total", Json::u(r.n_total as u64))
+                .field("total_s", Json::e(r.total_s, 9))
+                .field("pipelined_s", Json::e(r.pipelined_s, 9))
+                .field("peak_let_bytes_max", Json::u(r.peak_let_bytes_max))
+                .field("modeled", Json::b(r.modeled))
+        })
+        .collect();
+    Json::obj()
+        .field("bench", Json::s("fig5_weak_streaming"))
+        .field("theta", Json::Num(theta.to_string()))
+        .field("degree", Json::u(degree as u64))
+        .field("cap", Json::u(cap as u64))
+        .field("let_memory_budget", Json::u(budget))
+        .field("gpus_per_node", Json::u(gpus_per_node as u64))
+        .field("smoke", Json::b(smoke))
+        .field("peak_within_budget", Json::b(true))
+        .field("rows", Json::arr(rows))
+        .render_bench()
 }

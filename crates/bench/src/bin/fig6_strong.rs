@@ -22,8 +22,14 @@
 //! the per-row win over serial; `--no-pipeline` forces the default
 //! serial clock. Potentials and errors are identical either way — only
 //! the clock interpretation changes.
+//!
+//! `--trace out.json` exports the per-rank span timeline of the **last
+//! swept configuration** (largest system, highest rank count) as a
+//! Perfetto-loadable Chrome trace-event JSON file and prints the text
+//! flame summary; tracing never changes the modeled clocks or the
+//! potentials.
 
-use bltc_bench::{host_pool, sci, Args};
+use bltc_bench::{host_pool, sci, write_trace, Args};
 use bltc_core::engine::direct_sum_subset;
 use bltc_core::error::{sample_indices, sampled_relative_l2_error};
 use bltc_core::kernel::{Coulomb, Kernel, Yukawa};
@@ -65,6 +71,7 @@ fn run(args: &Args) {
     }
     println!();
 
+    let mut trace_spans = Vec::new();
     let kernels: Vec<Box<dyn Kernel>> = vec![Box::new(Coulomb), Box::new(Yukawa::default())];
     for kernel in &kernels {
         println!("== {} ==", kernel.name());
@@ -116,6 +123,11 @@ fn run(args: &Args) {
                         sci(err)
                     );
                 }
+                trace_spans = rep
+                    .ranks
+                    .iter()
+                    .flat_map(|r| r.pipeline.spans.iter().copied())
+                    .collect();
                 let phase_sum = rep.setup_s + rep.precompute_s + rep.compute_s;
                 phase_rows.push((
                     ranks,
@@ -149,4 +161,5 @@ fn run(args: &Args) {
     println!("paper shape checks:");
     println!("  - the larger system maintains higher efficiency at 32 ranks");
     println!("  - compute dominates at low rank counts; setup/precompute share grows with ranks");
+    write_trace(args, &trace_spans);
 }

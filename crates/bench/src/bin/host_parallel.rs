@@ -32,6 +32,7 @@
 
 use std::time::Instant;
 
+use bltc_bench::json::Json;
 use bltc_bench::Args;
 use bltc_core::config::BltcParams;
 use bltc_core::engine::{direct_sum, ParallelEngine, PreparedTreecode, TreecodeEngine};
@@ -220,44 +221,38 @@ fn render_json(
     ranks: usize,
     reps: usize,
 ) -> String {
-    let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"host_parallel\",\n");
-    s.push_str(&format!("  \"available_parallelism\": {avail},\n"));
-    s.push_str(&format!("  \"smoke\": {smoke},\n"));
-    s.push_str(&format!(
-        "  \"n\": {n},\n  \"n_direct\": {n_direct},\n  \"ranks\": {ranks},\n  \"reps\": {reps},\n"
-    ));
-    s.push_str(&format!(
-        "  \"workers\": [{}],\n",
-        sweep
-            .iter()
-            .map(|w| w.to_string())
-            .collect::<Vec<_>>()
-            .join(", ")
-    ));
-    s.push_str("  \"bitwise_identical_across_workers\": true,\n");
-    s.push_str("  \"sections\": {\n");
-    for (i, sec) in sections.iter().enumerate() {
-        s.push_str(&format!("    \"{}\": {{\n", sec.name));
-        s.push_str(&format!("      \"problem\": \"{}\",\n", sec.problem));
-        s.push_str("      \"seconds\": {");
-        let cells: Vec<String> = sec
-            .seconds
-            .iter()
-            .map(|(w, t)| format!("\"{w}\": {t:.6}"))
-            .collect();
-        s.push_str(&cells.join(", "));
-        s.push_str("},\n");
-        match sec.speedup(4) {
-            Some(sp) => s.push_str(&format!("      \"speedup_4v1\": {sp:.3}\n")),
-            None => s.push_str("      \"speedup_4v1\": null\n"),
+    let mut sections_obj = Json::obj();
+    for sec in sections {
+        let mut seconds = Json::obj();
+        for &(w, t) in &sec.seconds {
+            seconds = seconds.field(w.to_string(), Json::f(t, 6));
         }
-        s.push_str(if i + 1 == sections.len() {
-            "    }\n"
-        } else {
-            "    },\n"
-        });
+        sections_obj = sections_obj.field(
+            sec.name,
+            Json::obj()
+                .field("problem", Json::s(sec.problem.clone()))
+                .field("seconds", seconds)
+                .field(
+                    "speedup_4v1",
+                    sec.speedup(4)
+                        .map(|sp| Json::f(sp, 3))
+                        .unwrap_or(Json::Null),
+                ),
+        );
     }
-    s.push_str("  }\n}\n");
-    s
+    Json::obj()
+        .field("bench", Json::s("host_parallel"))
+        .field("available_parallelism", Json::u(avail as u64))
+        .field("smoke", Json::b(smoke))
+        .field("n", Json::u(n as u64))
+        .field("n_direct", Json::u(n_direct as u64))
+        .field("ranks", Json::u(ranks as u64))
+        .field("reps", Json::u(reps as u64))
+        .field(
+            "workers",
+            Json::arr(sweep.iter().map(|&w| Json::u(w as u64)).collect()),
+        )
+        .field("bitwise_identical_across_workers", Json::b(true))
+        .field("sections", sections_obj)
+        .render_bench()
 }

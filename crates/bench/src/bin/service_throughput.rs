@@ -28,7 +28,8 @@
 
 use std::time::Instant;
 
-use bltc_bench::Args;
+use bltc_bench::json::Json;
+use bltc_bench::{write_trace, Args};
 use bltc_core::config::BltcParams;
 use bltc_dist::DistConfig;
 use bltc_service::{state_digest, Fault, JobSpec, Scenario, ServiceConfig, SimService, TenantId};
@@ -76,6 +77,7 @@ fn main() {
     let ranks = args.usize("ranks", if smoke { 2 } else { 4 });
     let steps = args.usize("steps", if smoke { 2 } else { 5 }) as u64;
     let distinct = args.usize("distinct", 4);
+    let trace = args.get_opt("trace").is_some();
     let out_path = args
         .get_opt("out")
         .unwrap_or_else(|| "BENCH_service.json".to_string());
@@ -112,6 +114,7 @@ fn main() {
         cache_capacity: distinct.max(1),
         max_retries: 0,
         start_paused: false,
+        trace,
     });
     let t0 = Instant::now();
     let tickets: Vec<_> = specs
@@ -158,19 +161,53 @@ fn main() {
     );
     println!("(digests asserted bitwise identical between the two phases)");
 
-    let json = format!(
-        "{{\n  \"bench\": \"service_throughput\",\n  \"smoke\": {smoke},\n  \
-         \"config\": {{ \"jobs\": {jobs}, \"tenants\": {tenants}, \"workers\": {workers}, \
-         \"n\": {n}, \"ranks\": {ranks}, \"steps\": {steps}, \"distinct\": {distinct} }},\n  \
-         \"respawn\": {{ \"wall_s\": {base_wall:.6}, \"jobs_per_s\": {base_rate:.3}, \
-         \"worlds_spawned\": {jobs}, \"modeled_spawn_s\": {base_spawn_s:.6} }},\n  \
-         \"service\": {{ \"wall_s\": {svc_wall:.6}, \"jobs_per_s\": {svc_rate:.3}, \
-         \"worlds_spawned\": {}, \"worlds_reused\": {}, \"cache_hits\": {}, \
-         \"cache_misses\": {}, \"modeled_spawn_s\": {svc_spawn_s:.6} }},\n  \
-         \"spawn_amortization\": {amortization:.3},\n  \
-         \"bitwise_identical_to_respawn\": true\n}}\n",
-        stats.pool.spawned, stats.pool.reused, stats.cache_hits, stats.cache_misses
-    );
-    std::fs::write(&out_path, json).expect("write bench json");
+    let doc = Json::obj()
+        .field("bench", Json::s("service_throughput"))
+        .field("smoke", Json::b(smoke))
+        .field(
+            "config",
+            Json::obj()
+                .field("jobs", Json::u(jobs as u64))
+                .field("tenants", Json::u(tenants as u64))
+                .field("workers", Json::u(workers as u64))
+                .field("n", Json::u(n as u64))
+                .field("ranks", Json::u(ranks as u64))
+                .field("steps", Json::u(steps))
+                .field("distinct", Json::u(distinct as u64)),
+        )
+        .field(
+            "respawn",
+            Json::obj()
+                .field("wall_s", Json::f(base_wall, 6))
+                .field("jobs_per_s", Json::f(base_rate, 3))
+                .field("worlds_spawned", Json::u(jobs as u64))
+                .field("modeled_spawn_s", Json::f(base_spawn_s, 6)),
+        )
+        .field(
+            "service",
+            Json::obj()
+                .field("wall_s", Json::f(svc_wall, 6))
+                .field("jobs_per_s", Json::f(svc_rate, 3))
+                .field("worlds_spawned", Json::u(stats.pool.spawned))
+                .field("worlds_reused", Json::u(stats.pool.reused))
+                .field("cache_hits", Json::u(stats.cache_hits))
+                .field("cache_misses", Json::u(stats.cache_misses))
+                .field("modeled_spawn_s", Json::f(svc_spawn_s, 6)),
+        )
+        .field("spawn_amortization", Json::f(amortization, 3))
+        .field("bitwise_identical_to_respawn", Json::b(true));
+    std::fs::write(&out_path, doc.render_bench()).expect("write bench json");
     println!("wrote {out_path}");
+
+    // --trace: the per-job, tenant-stamped timeline union, plus one
+    // tenant's metrics snapshot as the text surface.
+    if trace {
+        if let Some((tenant, meter)) = stats.meters.iter().next() {
+            println!(
+                "\ntenant {tenant} metrics:\n{}",
+                meter.snapshot().render_text()
+            );
+        }
+        write_trace(&args, &stats.trace_spans);
+    }
 }

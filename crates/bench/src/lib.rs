@@ -46,6 +46,12 @@ use bltc_core::error::relative_l2_error;
 use bltc_core::field::FieldResult;
 use bltc_core::kernel::{GradientKernel, Kernel};
 
+/// The shared deterministic JSON writer (re-exported from
+/// [`bltc_trace`]): every `BENCH_*.json` artifact renders through
+/// [`json::Json::render_bench`], so field order, float formatting, and
+/// whitespace are identical across all bench binaries.
+pub use bltc_trace::json;
+
 /// Tiny argument parser: `--key value` pairs with typed lookup.
 pub struct Args {
     pairs: Vec<(String, String)>,
@@ -161,6 +167,23 @@ pub fn sci(v: f64) -> String {
         return "0".into();
     }
     format!("{v:9.3e}")
+}
+
+/// Honor a bench's `--trace <path>` flag: write the spans as a
+/// Perfetto-loadable Chrome trace-event JSON file and print the text
+/// flame summary. No-op (returns `false`) when the flag is absent.
+/// Spans are sorted by their deterministic key before export, so the
+/// written file is byte-identical run-to-run.
+pub fn write_trace(args: &Args, spans: &[bltc_trace::Span]) -> bool {
+    let Some(path) = args.get_opt("trace") else {
+        return false;
+    };
+    let mut spans = spans.to_vec();
+    bltc_trace::sort_spans(&mut spans);
+    std::fs::write(&path, bltc_trace::chrome_trace(&spans)).expect("write trace json");
+    println!("\n{}", bltc_trace::flame_summary(&spans));
+    println!("wrote {path} ({} spans)", spans.len());
+    true
 }
 
 #[cfg(test)]

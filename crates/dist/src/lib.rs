@@ -973,6 +973,9 @@ pub fn run_distributed<K: Kernel + ?Sized>(
             clocks.total(),
         );
 
+        if comm.tracing_enabled() {
+            comm.trace_spans(pipeline.spans.iter().copied());
+        }
         comm.barrier(); // epochs closed on every rank
 
         (
@@ -1208,6 +1211,12 @@ pub fn eval_field_rank(
         &fetch_plans,
         clocks.total(),
     );
+
+    // Deposit this epoch's phase-DAG spans for the driver to drain
+    // (observational only; also carried in the report's pipeline).
+    if comm.tracing_enabled() {
+        comm.trace_spans(pipeline.spans.iter().copied());
+    }
 
     // Epochs closed on every rank; windows (held by `setup`) must stay
     // alive until every peer is done fetching.

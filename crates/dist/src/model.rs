@@ -19,6 +19,7 @@
 //! phase sum.
 
 use bltc_gpu::{dispatch_remote_chunks, GpuSimBreakdown, RemoteChunkWork};
+use bltc_trace::{Phase, Span, Track};
 
 use crate::DistConfig;
 
@@ -192,6 +193,13 @@ pub struct PipelineReport {
     pub streams: usize,
     /// Per-chunk land/ready clocks, in dispatch order.
     pub chunks: Vec<ChunkClock>,
+    /// Trace spans of this epoch's phase DAG: every serial phase
+    /// component placed at its wall position on the rank's resource
+    /// tracks. Derived alongside the clocks from the same work counts
+    /// and never read back, so collecting them cannot perturb any
+    /// result. Per-phase `billed_s` sums reconcile against the serial
+    /// `RankReport` phase clocks; the latest span end is `pipelined_s`.
+    pub spans: Vec<Span>,
 }
 
 /// Compute the pipelined critical path of one rank's epoch.
@@ -230,18 +238,40 @@ pub(crate) fn pipelined_clock(
     serial_total_s: f64,
 ) -> PipelineReport {
     let h = &cfg.host;
+    let r = rank as u32;
+    let mut spans: Vec<Span> = Vec::new();
     let build_s = h.base_s + h.per_particle_level_s * n as f64 * levels.max(1) as f64;
     let mut host_free = build_s + h.per_launch_s * local_launches as f64;
     let local_start = host_free;
     let mut nic_free = build_s;
+    spans.push(Span::new(Track::Host(r), "build", 0.0, build_s).phase(Phase::SetupHost));
+    spans.push(
+        Span::new(Track::Host(r), "local-lists", build_s, local_start).phase(Phase::SetupHost),
+    );
 
     // Skeleton gets first (windows exist once the build completes), each
     // LET's traversal on the host as its skeleton lands.
     let mut traversal_done = Vec::with_capacity(plans.len());
     for p in plans {
-        let land = nic_free + cfg.link(rank, p.target).seconds_for(1, p.skeleton_bytes);
+        let get_s = cfg.link(rank, p.target).seconds_for(1, p.skeleton_bytes);
+        let land = nic_free + get_s;
+        spans.push(
+            Span::new(Track::Nic(r), "skeleton-get", nic_free, land)
+                .phase(Phase::SetupComm)
+                .billed(get_s)
+                .bytes(p.skeleton_bytes)
+                .target(p.target as u32),
+        );
         nic_free = land;
-        host_free = host_free.max(land) + h.per_launch_s * p.traversal_launches as f64;
+        let traverse_s = h.per_launch_s * p.traversal_launches as f64;
+        let t_start = host_free.max(land);
+        host_free = t_start + traverse_s;
+        spans.push(
+            Span::new(Track::Host(r), "traversal", t_start, host_free)
+                .phase(Phase::SetupHost)
+                .billed(traverse_s)
+                .target(p.target as u32),
+        );
         traversal_done.push(host_free);
     }
 
@@ -267,6 +297,19 @@ pub(crate) fn pipelined_clock(
         0.0
     };
 
+    // Streaming (budgeted) LET keeps only the in-flight chunk resident;
+    // retained LET accumulates every chunk through evaluation — the
+    // exact semantics `RankReport::peak_let_bytes` reports.
+    let streaming = cfg.let_memory_budget.is_some();
+    let launch_overhead_s = cfg.spec.host_enqueue_s + cfg.spec.launch_latency_s;
+    let mut resident_bytes = 0u64;
+    let mut chunk_id = 0u32;
+    // (chunk id, billed seconds, flops) of each kernel the dispatcher
+    // will enqueue, in enqueue order — correlates `dispatch.events` back
+    // to chunks and carries the exact serial billing of each kernel.
+    let mut kernel_meta: Vec<(u32, f64, f64)> = Vec::new();
+    let mut exec_billed = 0.0f64;
+
     let mut pcie_free = 0.0f64;
     let mut works = Vec::with_capacity(num_chunks);
     let mut chunks = Vec::with_capacity(num_chunks);
@@ -274,24 +317,66 @@ pub(crate) fn pipelined_clock(
     for (p, &traversed) in plans.iter().zip(&traversal_done) {
         let link = cfg.link(rank, p.target);
         for c in &p.chunks {
-            let land = nic_free.max(traversed) + link.seconds_for(c.messages, c.bytes);
+            let get_s = link.seconds_for(c.messages, c.bytes);
+            let nic_start = nic_free.max(traversed);
+            let land = nic_start + get_s;
             nic_free = land;
             last_land = land;
-            let unpacked =
-                host_free.max(land) + h.per_fetched_particle_s * c.fetched_particles as f64;
+            resident_bytes = if streaming {
+                c.bytes
+            } else {
+                resident_bytes + c.bytes
+            };
+            spans.push(
+                Span::new(Track::Nic(r), "let-chunk-get", nic_start, land)
+                    .phase(Phase::SetupComm)
+                    .billed(get_s)
+                    .bytes(c.bytes)
+                    .chunk(chunk_id)
+                    .target(p.target as u32)
+                    .resident(resident_bytes),
+            );
+            let unpack_s = h.per_fetched_particle_s * c.fetched_particles as f64;
+            let unpack_start = host_free.max(land);
+            let unpacked = unpack_start + unpack_s;
             host_free = unpacked;
+            spans.push(
+                Span::new(Track::Host(r), "unpack", unpack_start, unpacked)
+                    .phase(Phase::SetupHost)
+                    .billed(unpack_s)
+                    .chunk(chunk_id)
+                    .target(p.target as u32),
+            );
             let stage_share = if device_bytes > 0 {
                 stage_total * (c.bytes as f64 / device_bytes as f64)
             } else {
                 0.0
             };
-            let ready = pcie_free.max(unpacked) + stage_share;
+            let stage_start = pcie_free.max(unpacked);
+            let ready = stage_start + stage_share;
             pcie_free = ready;
+            spans.push(
+                Span::new(Track::Pcie(r), "stage", stage_start, ready)
+                    .phase(Phase::SetupStage)
+                    .billed(stage_share)
+                    .bytes(c.bytes)
+                    .chunk(chunk_id)
+                    .target(p.target as u32),
+            );
             let exec_share = if total_flops > 0.0 {
                 c.exec_flops / total_flops
             } else {
                 1.0 / num_chunks.max(1) as f64
             };
+            if c.launches > 0 {
+                let chunk_exec_s = exec_total * exec_share;
+                exec_billed += chunk_exec_s;
+                let per_exec_s = chunk_exec_s / c.launches as f64;
+                let per_flops = c.exec_flops / c.launches as f64;
+                for _ in 0..c.launches {
+                    kernel_meta.push((chunk_id, per_exec_s + launch_overhead_s, per_flops));
+                }
+            }
             works.push(RemoteChunkWork {
                 ready_s: ready,
                 exec_s: exec_total * exec_share,
@@ -302,6 +387,7 @@ pub(crate) fn pipelined_clock(
                 land_s: land,
                 ready_s: ready,
             });
+            chunk_id += 1;
         }
     }
 
@@ -309,8 +395,64 @@ pub(crate) fn pipelined_clock(
     // local lists exist; remote chunks stream in behind it.
     let local_block_s =
         sim.htod_sources_s + sim.precompute_s + sim.dtoh_charges_s + sim.htod_let_s + sim.compute_s;
+    {
+        // Local block spans, in charge order on the PCIe and device
+        // tracks (the block occupies every stream; stream 0 stands for
+        // the device).
+        let t1 = local_start + sim.htod_sources_s;
+        let t2 = t1 + sim.precompute_s;
+        let t3 = t2 + sim.dtoh_charges_s;
+        let t4 = t3 + sim.htod_let_s;
+        let t5 = t4 + sim.compute_s;
+        spans.push(
+            Span::new(Track::Pcie(r), "htod-sources", local_start, t1).phase(Phase::SetupStage),
+        );
+        spans.push(
+            Span::new(Track::DeviceStream(r, 0), "precompute", t1, t2).phase(Phase::Precompute),
+        );
+        spans.push(Span::new(Track::Pcie(r), "dtoh-charges", t2, t3).phase(Phase::Precompute));
+        spans.push(Span::new(Track::Pcie(r), "htod-let", t3, t4).phase(Phase::SetupStage));
+        spans.push(
+            Span::new(Track::DeviceStream(r, 0), "local-compute", t4, t5).phase(Phase::Compute),
+        );
+    }
     let dispatch =
         dispatch_remote_chunks(&cfg.spec, cfg.streams, local_start + local_block_s, &works);
+    debug_assert_eq!(
+        dispatch.events.len(),
+        kernel_meta.len(),
+        "one kernel event per planned launch"
+    );
+    for (e, &(chunk, billed_s, flops)) in dispatch.events.iter().zip(&kernel_meta) {
+        spans.push(
+            Span::new(
+                Track::DeviceStream(r, e.stream as u32),
+                "remote-chunk",
+                e.start_s,
+                e.end_s,
+            )
+            .phase(Phase::Compute)
+            .billed(billed_s)
+            .flops(flops)
+            .chunk(chunk),
+        );
+    }
+    // Exec share of chunks that carry flops but no launches (should not
+    // occur — launches generate the flops — but keep the compute-phase
+    // reconciliation exact rather than silently leaking the share).
+    let exec_residual = exec_total - exec_billed;
+    if exec_residual > exec_total * 1e-9 {
+        spans.push(
+            Span::new(
+                Track::DeviceStream(r, 0),
+                "remote-exec-residual",
+                dispatch.done_s,
+                dispatch.done_s,
+            )
+            .phase(Phase::Compute)
+            .billed(exec_residual),
+        );
+    }
     let raw = dispatch.done_s + sim.dtoh_potentials_s;
 
     // `pipelined ≤ serial` holds structurally (every serial second
@@ -326,13 +468,34 @@ pub(crate) fn pipelined_clock(
          serial accounting never charged"
     );
 
+    let pipelined_s = raw.min(serial_total_s);
+    // The potentials DtH closes the epoch: anchor its end at the clamped
+    // makespan so the latest span end *is* `pipelined_s`, and iron the
+    // same fp-reassociation noise out of every other span (the clamp
+    // above moves the makespan by at most ~1e-9 relative).
+    spans.push(
+        Span::new(
+            Track::Pcie(r),
+            "dtoh-potentials",
+            (pipelined_s - sim.dtoh_potentials_s).max(0.0),
+            pipelined_s,
+        )
+        .phase(Phase::Compute)
+        .billed(sim.dtoh_potentials_s),
+    );
+    for s in &mut spans {
+        s.end_s = s.end_s.min(pipelined_s);
+        s.start_s = s.start_s.min(s.end_s);
+    }
+
     PipelineReport {
-        pipelined_s: raw.min(serial_total_s),
+        pipelined_s,
         serial_s: serial_total_s,
         local_lists_s: local_start,
         last_land_s: last_land,
         streams: cfg.streams,
         chunks,
+        spans,
     }
 }
 

@@ -96,6 +96,10 @@ pub struct SessionFieldReport {
     /// critical paths (`≤ total_s`) — the session epochs expose the
     /// same overlap-aware clock as the one-shot pipelines.
     pub pipelined_s: f64,
+    /// Trace spans drained from the world for this epoch (rank-major;
+    /// each rank's phase DAG starting at epoch-relative time 0). Empty
+    /// when [`FieldSession::set_tracing`] has turned collection off.
+    pub spans: Vec<bltc_trace::Span>,
     /// Session epoch index this evaluation ran as.
     pub epoch: u64,
 }
@@ -346,6 +350,19 @@ impl FieldSession {
         self.session.is_poisoned()
     }
 
+    /// Enable or disable trace-span collection on the underlying world
+    /// (see [`mpi_sim::Session::set_tracing`]). Observational only:
+    /// fields, trajectories, traffic, and all modeled clocks are
+    /// bitwise identical either way.
+    pub fn set_tracing(&self, enabled: bool) {
+        self.session.set_tracing(enabled);
+    }
+
+    /// Whether span collection is currently enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.session.tracing_enabled()
+    }
+
     /// Tear down the driver-side state and hand the live world back —
     /// the return half of warm-world reuse. The resident slots are
     /// dropped; the rank threads stay up for the next
@@ -396,6 +413,7 @@ impl FieldSession {
             pipelined_s: fmax(&|r| r.pipelined_s()),
             ranks: er.results,
             traffic: er.traffic,
+            spans: er.spans,
             epoch: er.epoch,
         }
     }

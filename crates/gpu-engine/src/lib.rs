@@ -51,4 +51,5 @@ pub use engine::{
     gpu_direct_sum, gpu_direct_sum_modeled_seconds, GpuDirectSumResult, GpuEngine,
     GpuFieldRunReport, GpuRunReport, GpuSimBreakdown,
 };
+pub use gpu_sim::KernelEvent;
 pub use pipeline::{dispatch_remote_chunks, ChunkDispatchReport, RemoteChunkWork};

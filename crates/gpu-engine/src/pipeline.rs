@@ -29,7 +29,7 @@
 //! padding), and such a chunk must neither stall the host clock at its
 //! land time nor emit phantom kernels.
 
-use gpu_sim::{DeviceSpec, LaunchConfig, Scheduler, WorkEstimate};
+use gpu_sim::{DeviceSpec, KernelEvent, LaunchConfig, Scheduler, WorkEstimate};
 
 /// One LET chunk's worth of remote-evaluation work, ready for dispatch.
 #[derive(Debug, Clone, Copy)]
@@ -45,7 +45,7 @@ pub struct RemoteChunkWork {
 }
 
 /// Outcome of dispatching a rank's remote chunks behind its local block.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ChunkDispatchReport {
     /// Time the device retires the last kernel (or finishes the local
     /// block when no chunks exist).
@@ -55,6 +55,11 @@ pub struct ChunkDispatchReport {
     pub busy_s: f64,
     /// Kernels retired.
     pub kernels: u64,
+    /// Per-kernel lifetimes in enqueue order. The dispatcher enqueues
+    /// chunks in land order, `launches` kernels each (zero-launch chunks
+    /// skipped), so `events[k]` correlates back to its chunk by walking
+    /// that order. Observational only.
+    pub events: Vec<KernelEvent>,
 }
 
 /// Dispatch `chunks` (in land order) onto `streams` simulated streams of
@@ -98,6 +103,7 @@ pub fn dispatch_remote_chunks(
         done_s: sched.now(),
         busy_s: sched.busy_seconds(),
         kernels: sched.retired(),
+        events: sched.drain_kernel_events(),
     }
 }
 
@@ -191,5 +197,40 @@ mod tests {
         let b = dispatch_remote_chunks(&spec(), 2, 0.1, &chunks);
         assert_eq!(a.done_s, b.done_s);
         assert_eq!(a.busy_s, b.busy_s);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn events_cover_every_kernel_in_enqueue_order() {
+        let chunks = [
+            RemoteChunkWork {
+                ready_s: 0.1,
+                exec_s: 1e-3,
+                launches: 3,
+            },
+            RemoteChunkWork {
+                ready_s: 0.2,
+                exec_s: 0.0,
+                launches: 0,
+            },
+            RemoteChunkWork {
+                ready_s: 0.3,
+                exec_s: 2e-3,
+                launches: 2,
+            },
+        ];
+        let rep = dispatch_remote_chunks(&spec(), 2, 0.05, &chunks);
+        assert_eq!(rep.events.len() as u64, rep.kernels);
+        assert_eq!(rep.events.len(), 5, "zero-launch chunk emits no events");
+        assert!(rep.events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        // Chunk 0's kernels (seq 0..3) issue no earlier than its ready
+        // time; chunk 1's (seq 3..5) no earlier than theirs.
+        for e in &rep.events {
+            let ready = if e.seq < 3 { 0.1 } else { 0.3 };
+            assert!(e.issue_s >= ready - 1e-15);
+        }
+        // The last retirement is the report's done time.
+        let last = rep.events.iter().fold(0.0f64, |m, e| m.max(e.end_s));
+        assert!((last - rep.done_s).abs() < 1e-15);
     }
 }

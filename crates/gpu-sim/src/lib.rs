@@ -57,7 +57,7 @@ pub mod spec;
 pub use atomic::AtomicF64Cell;
 pub use memory::{BufF64, BufU32, DeviceMemory};
 pub use profile::{KernelClassStats, Profiler};
-pub use sched::{LaunchConfig, Scheduler, WorkEstimate};
+pub use sched::{KernelEvent, LaunchConfig, Scheduler, WorkEstimate};
 pub use spec::DeviceSpec;
 
 /// A simulated GPU: memory arena + stream scheduler + profiler, driven by

@@ -83,6 +83,8 @@ impl WorkEstimate {
 
 #[derive(Debug, Clone, Copy)]
 struct Queued {
+    /// Enqueue order across all streams (event correlation key).
+    seq: u64,
     /// Host clock at enqueue.
     issue: f64,
     /// Full-device exec seconds (roofline).
@@ -93,9 +95,32 @@ struct Queued {
 
 #[derive(Debug, Clone, Copy)]
 struct Active {
+    seq: u64,
     stream: usize,
+    issue: f64,
+    start: f64,
     remaining: f64,
     demand: f64,
+}
+
+/// The modeled lifetime of one retired kernel — what a trace exporter
+/// needs to place the kernel on its stream's timeline. Purely
+/// observational: collecting (or dropping) events never changes the
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelEvent {
+    /// Enqueue order across all streams (0-based).
+    pub seq: u64,
+    /// Stream the kernel ran on (post-wrap index).
+    pub stream: usize,
+    /// Host clock at enqueue.
+    pub issue_s: f64,
+    /// Start of the exec phase (after launch latency and any stream /
+    /// device waiting).
+    pub start_s: f64,
+    /// Retirement time. `end_s - start_s` ≥ the full-device exec time
+    /// whenever the device was shared.
+    pub end_s: f64,
 }
 
 /// Stream scheduler with a simulated clock.
@@ -113,6 +138,10 @@ pub struct Scheduler {
     busy_seconds: f64,
     /// Total kernels retired.
     retired: u64,
+    /// Enqueue counter (assigns [`KernelEvent::seq`]).
+    enqueued: u64,
+    /// Lifetimes of retired kernels since the last drain.
+    events: Vec<KernelEvent>,
 }
 
 impl Scheduler {
@@ -127,6 +156,8 @@ impl Scheduler {
             stream_tail: vec![0.0; spec.num_streams],
             busy_seconds: 0.0,
             retired: 0,
+            enqueued: 0,
+            events: Vec::new(),
         }
     }
 
@@ -143,7 +174,10 @@ impl Scheduler {
         let exec = self.spec.exec_seconds(work.flops, work.bytes);
         let demand = self.spec.occupancy(cfg.grid_blocks).max(1e-6);
         let s = cfg.stream % self.spec.num_streams;
+        let seq = self.enqueued;
+        self.enqueued += 1;
         self.queues[s].push_back(Queued {
+            seq,
             issue: self.host_clock,
             work: exec,
             demand,
@@ -214,7 +248,10 @@ impl Scheduler {
                     if start <= t + 1e-18 {
                         let k = self.queues[s].pop_front().expect("head exists");
                         active.push(Active {
+                            seq: k.seq,
                             stream: s,
+                            issue: k.issue,
+                            start: start.max(t),
                             remaining: k.work.max(1e-15),
                             demand: k.demand,
                         });
@@ -271,6 +308,13 @@ impl Scheduler {
                     self.stream_tail[a.stream] = t;
                     stream_busy[a.stream] = false;
                     self.retired += 1;
+                    self.events.push(KernelEvent {
+                        seq: a.seq,
+                        stream: a.stream,
+                        issue_s: a.issue,
+                        start_s: a.start,
+                        end_s: t,
+                    });
                 } else {
                     i += 1;
                 }
@@ -294,6 +338,17 @@ impl Scheduler {
     /// Kernels retired so far.
     pub fn retired(&self) -> u64 {
         self.retired
+    }
+
+    /// Take the lifetimes of kernels retired since the last drain,
+    /// sorted by enqueue order. Kernels retire out of enqueue order
+    /// when streams overlap; the sort makes the drained vector
+    /// deterministic and lets callers correlate events back to their
+    /// enqueue sequence.
+    pub fn drain_kernel_events(&mut self) -> Vec<KernelEvent> {
+        let mut ev = std::mem::take(&mut self.events);
+        ev.sort_by_key(|e| e.seq);
+        ev
     }
 
     /// Number of hardware streams.
@@ -531,6 +586,42 @@ mod tests {
         idle.occupy_until(busy);
         idle.synchronize();
         assert!((idle.now() - busy).abs() < 1e-15);
+    }
+
+    /// Kernel events reconstruct the schedule: one event per retired
+    /// kernel, exec windows inside [issue + latency, synchronize time],
+    /// same-stream events non-overlapping, drain order = enqueue order.
+    #[test]
+    fn kernel_events_describe_the_schedule() {
+        let mut s = sched();
+        for i in 0..8 {
+            s.enqueue(
+                LaunchConfig::new("k", 40, 128).stream(i % 4),
+                WorkEstimate::flops(1e8),
+            );
+        }
+        s.synchronize();
+        let events = s.drain_kernel_events();
+        assert_eq!(events.len(), 8);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        for e in &events {
+            assert!(e.issue_s + spec().launch_latency_s <= e.start_s + 1e-15);
+            assert!(e.start_s < e.end_s);
+            assert!(e.end_s <= s.now() + 1e-15);
+            // Exec stretched or equal, never compressed.
+            assert!(e.end_s - e.start_s >= spec().exec_seconds(1e8, 0.0) - 1e-15);
+        }
+        // In-order streams: same-stream events serialize.
+        for a in &events {
+            for b in &events {
+                if a.seq < b.seq && a.stream == b.stream {
+                    assert!(a.end_s <= b.start_s + 1e-15);
+                }
+            }
+        }
+        // Drained: a second drain is empty, retire count unaffected.
+        assert!(s.drain_kernel_events().is_empty());
+        assert_eq!(s.retired(), 8);
     }
 
     #[test]

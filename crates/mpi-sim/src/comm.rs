@@ -45,6 +45,22 @@ impl Comm {
         self.world.barrier.wait();
     }
 
+    /// Whether the world is collecting trace spans. Purely advisory —
+    /// rank bodies may use it to skip building span vectors, never to
+    /// change what they compute.
+    pub fn tracing_enabled(&self) -> bool {
+        self.world.trace.enabled()
+    }
+
+    /// Deposit trace spans into this rank's buffer. Spans are drained
+    /// by the driver per epoch ([`crate::session::EpochReport::spans`])
+    /// or per run ([`crate::SpmdResult::spans`]); discarded when
+    /// tracing is disabled. Not a collective — any rank may deposit any
+    /// number of times.
+    pub fn trace_spans(&self, spans: impl IntoIterator<Item = bltc_trace::Span>) {
+        self.world.trace.deposit(self.rank, spans);
+    }
+
     fn next_seq(&self) -> u64 {
         let s = self.seq.get();
         self.seq.set(s + 1);

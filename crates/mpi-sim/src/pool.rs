@@ -250,6 +250,38 @@ mod tests {
     }
 
     #[test]
+    fn poison_drop_takes_precedence_over_capacity_eviction() {
+        // A poisoned world returned to a *full* pool must be counted as
+        // a poison drop, not a capacity eviction: the two counters feed
+        // different alerts (tenant bug vs pool sizing), and the checkin
+        // path tests poison before it ever looks at capacity.
+        let pool = SessionPool::new(1);
+        let (healthy, _) = pool.checkout(2);
+        let (mut doomed, _) = pool.checkout(2);
+        pool.checkin(healthy); // pool now at max_idle
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            doomed.run_epoch(|comm| {
+                if comm.rank() == 0 {
+                    panic!("tenant bug");
+                }
+                comm.barrier();
+            })
+        }));
+        assert!(out.is_err());
+        assert!(doomed.is_poisoned());
+        pool.checkin(doomed);
+        let st = pool.stats();
+        assert_eq!(st.poisoned_dropped, 1, "poison must be the recorded cause");
+        assert_eq!(st.evicted, 0, "a poisoned drop is not a capacity eviction");
+        assert_eq!(st.idle, 1, "the healthy world stays parked");
+        // The parked world is still the healthy one.
+        let (mut s, reused) = pool.checkout(2);
+        assert!(reused);
+        let e = s.run_epoch(|comm| comm.all_reduce_sum(1.0));
+        assert_eq!(e.results, vec![2.0; 2]);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one idle world")]
     fn zero_capacity_rejected() {
         let _ = SessionPool::new(0);

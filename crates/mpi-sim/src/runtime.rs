@@ -17,8 +17,10 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar};
 
+use bltc_trace::Span;
 use parking_lot::Mutex;
 
 /// Per-pair one-sided traffic counters.
@@ -364,6 +366,52 @@ impl PoisonBarrier {
     }
 }
 
+/// Per-rank span deposit buffers, drained alongside the traffic matrix.
+///
+/// Each rank writes only its own buffer (so locks are uncontended and
+/// span order within a rank is the rank's own program order); the
+/// driver drains all buffers only after every rank's epoch outcome has
+/// been collected. Depositing is gated on `enabled` — but whether spans
+/// are collected or discarded can never influence the computation,
+/// because nothing in the runtime ever reads them back.
+pub(crate) struct TraceSink {
+    enabled: AtomicBool,
+    buffers: Vec<Mutex<Vec<Span>>>,
+}
+
+impl TraceSink {
+    fn new(size: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(true),
+            buffers: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    pub(crate) fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn deposit(&self, rank: usize, spans: impl IntoIterator<Item = Span>) {
+        if self.enabled() {
+            self.buffers[rank].lock().extend(spans);
+        }
+    }
+
+    /// Concatenate all per-rank buffers (rank-major, each in deposit
+    /// order), leaving them empty.
+    pub(crate) fn drain(&self) -> Vec<Span> {
+        let mut out = Vec::new();
+        for buf in &self.buffers {
+            out.append(&mut buf.lock());
+        }
+        out
+    }
+}
+
 /// Shared world state (one per `run_spmd` invocation, or one per
 /// [`crate::session::Session`] lifetime).
 pub(crate) struct World {
@@ -372,6 +420,7 @@ pub(crate) struct World {
     /// Rendezvous slots for collectives, keyed by per-rank call sequence.
     pub(crate) rendezvous: Mutex<HashMap<u64, RendezvousSlots>>,
     pub(crate) traffic: Mutex<TrafficMatrix>,
+    pub(crate) trace: TraceSink,
 }
 
 impl World {
@@ -381,6 +430,7 @@ impl World {
             barrier: PoisonBarrier::new(size),
             rendezvous: Mutex::new(HashMap::new()),
             traffic: Mutex::new(TrafficMatrix::new(size)),
+            trace: TraceSink::new(size),
         }
     }
 
@@ -399,13 +449,18 @@ impl World {
 }
 
 /// Result of an SPMD run: per-rank return values plus the recorded
-/// one-sided traffic matrix.
+/// one-sided traffic matrix and deposited trace spans.
 #[derive(Debug)]
 pub struct SpmdResult<R> {
     /// Return value of each rank, indexed by rank.
     pub results: Vec<R>,
     /// One-sided traffic recorded during the run.
     pub traffic: TrafficMatrix,
+    /// Trace spans deposited by rank bodies via
+    /// [`crate::Comm::trace_spans`] (rank-major, each rank's in deposit
+    /// order). Purely observational — identical results with or without
+    /// them.
+    pub spans: Vec<Span>,
 }
 
 /// Run `f` on `n_ranks` rank threads; blocks until all ranks return.
@@ -483,7 +538,12 @@ where
         .map(|o| o.expect("checked above"))
         .collect();
     let traffic = world.traffic.lock().clone();
-    SpmdResult { results, traffic }
+    let spans = world.trace.drain();
+    SpmdResult {
+        results,
+        traffic,
+        spans,
+    }
 }
 
 #[cfg(test)]

@@ -94,6 +94,11 @@ pub struct EpochReport<R> {
     pub results: Vec<R>,
     /// One-sided traffic this epoch recorded, per (origin, target).
     pub traffic: TrafficMatrix,
+    /// Trace spans deposited during this epoch via
+    /// [`Comm::trace_spans`] (rank-major, each rank's in deposit
+    /// order). Empty when tracing is disabled; never read back by the
+    /// runtime.
+    pub spans: Vec<bltc_trace::Span>,
     /// Zero-based index of this epoch in the session.
     pub epoch: u64,
 }
@@ -181,6 +186,19 @@ impl Session {
         self.world.barrier.poisoned_by().is_some()
     }
 
+    /// Enable or disable span collection for subsequent epochs. Tracing
+    /// is observational only: results, traffic, and every modeled clock
+    /// are bitwise identical either way (pinned by `tests/trace.rs`).
+    /// Enabled by default.
+    pub fn set_tracing(&self, enabled: bool) {
+        self.world.trace.set_enabled(enabled);
+    }
+
+    /// Whether span collection is currently enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.world.trace.enabled()
+    }
+
     /// Submit one epoch: every rank runs `f` SPMD-style; blocks until
     /// all ranks return. The report carries the traffic recorded during
     /// this epoch only.
@@ -212,6 +230,7 @@ impl Session {
         let epoch = self.epochs;
         self.epochs += 1;
         let traffic = self.world.drain_traffic();
+        let spans = self.world.trace.drain();
 
         // Re-raise the first poisoner's payload, as run_spmd does. In a
         // *later* epoch of an already-poisoned session the original
@@ -250,6 +269,7 @@ impl Session {
         EpochReport {
             results,
             traffic,
+            spans,
             epoch,
         }
     }
@@ -496,5 +516,33 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_rank_session_rejected() {
         let _ = Session::spawn(0);
+    }
+
+    #[test]
+    fn spans_drain_per_epoch_and_respect_the_switch() {
+        use bltc_trace::{Span, Track};
+        let deposit = |comm: &Comm| {
+            let r = comm.rank() as u32;
+            comm.trace_spans([Span::new(Track::Host(r), "work", 0.0, 1.0)]);
+            comm.rank()
+        };
+
+        let mut s = Session::spawn(3);
+        assert!(s.tracing_enabled(), "tracing defaults on");
+        let er = s.run_epoch(deposit);
+        assert_eq!(er.spans.len(), 3);
+        // Rank-major drain order.
+        let tracks: Vec<_> = er.spans.iter().map(|sp| sp.track).collect();
+        assert_eq!(tracks, vec![Track::Host(0), Track::Host(1), Track::Host(2)]);
+
+        // Each epoch drains: the next epoch starts empty.
+        let er = s.run_epoch(|comm: &Comm| comm.rank());
+        assert!(er.spans.is_empty());
+
+        // Disabled: deposits are discarded, results unchanged.
+        s.set_tracing(false);
+        let er = s.run_epoch(deposit);
+        assert!(er.spans.is_empty());
+        assert_eq!(er.results, vec![0, 1, 2]);
     }
 }

@@ -37,6 +37,7 @@ use std::thread::JoinHandle;
 
 use bltc_core::field::FieldResult;
 use bltc_sim::{ForceModel, PersistentIntegrator, SimReport, SimState, WorldReuse};
+use bltc_trace::{sort_spans, Phase, Span, TraceRecorder, Track};
 use mpi_sim::{PoolStats, Session, SessionPool};
 use rcb::RcbPartition;
 
@@ -68,6 +69,13 @@ pub struct ServiceConfig {
     /// admission decisions a pure function of submission order —
     /// what the determinism proptest pins.
     pub start_paused: bool,
+    /// Collect per-job trace spans: each job runs under its own
+    /// [`TraceRecorder`] stamped with its tenant and job id, the spans
+    /// return in [`JobOutput::trace_spans`], and
+    /// [`ServiceStats::trace_spans`] carries the sorted union at
+    /// shutdown. Purely observational — results, digests, reports, and
+    /// meters are bitwise identical either way (`tests/trace.rs`).
+    pub trace: bool,
 }
 
 impl ServiceConfig {
@@ -79,6 +87,7 @@ impl ServiceConfig {
             cache_capacity: 32,
             max_retries: 1,
             start_paused: false,
+            trace: false,
         }
     }
 }
@@ -153,6 +162,11 @@ pub struct JobOutput {
     pub state_digest: u64,
     /// FNV-1a digest of `field` (see [`crate::field_digest`]).
     pub field_digest: u64,
+    /// The job's trace spans (tenant/job-stamped, sorted, on one
+    /// continuous per-job timeline), when [`ServiceConfig::trace`] is
+    /// on; empty otherwise. Only the successful attempt's spans are
+    /// kept — a panicked attempt's recorder dies with its world.
+    pub trace_spans: Vec<Span>,
 }
 
 /// Permanent job failure. The taxonomy is deliberately small: invalid
@@ -246,6 +260,10 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Cache lookups that missed and built.
     pub cache_misses: u64,
+    /// Union of every completed job's trace spans, deterministically
+    /// sorted (tenant, then job, then track/time), when
+    /// [`ServiceConfig::trace`] is on; empty otherwise.
+    pub trace_spans: Vec<Span>,
 }
 
 /// A job's deterministic preparation: scenario state, force model, and
@@ -295,6 +313,10 @@ struct QueuedJob {
     job_id: u64,
     tenant: TenantId,
     spec: JobSpec,
+    /// Queue depth at admission: 0 for [`Admission::Immediate`],
+    /// `position + 1` for [`Admission::Queued`] — what the tenant's
+    /// queue-wait histogram records.
+    queue_pos: usize,
     tx: mpsc::Sender<Result<JobOutput, JobError>>,
 }
 
@@ -319,6 +341,10 @@ struct Shared {
     pool: SessionPool,
     cache: Mutex<PrepCache>,
     meters: Mutex<BTreeMap<TenantId, TenantMeter>>,
+    /// Completed jobs' spans, appended in completion order and sorted
+    /// once at shutdown (the sort key makes the union deterministic
+    /// regardless of worker interleaving).
+    trace: Mutex<Vec<Span>>,
 }
 
 /// The many-tenant simulation service. Construct with
@@ -361,6 +387,7 @@ impl SimService {
                 misses: 0,
             }),
             meters: Mutex::new(BTreeMap::new()),
+            trace: Mutex::new(Vec::new()),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -417,11 +444,16 @@ impl SimService {
         };
         let job_id = st.next_job_id;
         st.next_job_id += 1;
+        let queue_pos = match admission {
+            Admission::Immediate => 0,
+            Admission::Queued { position } => position + 1,
+        };
         let (tx, rx) = mpsc::channel();
         st.queue.push_back(QueuedJob {
             job_id,
             tenant,
             spec,
+            queue_pos,
             tx,
         });
         drop(st);
@@ -476,6 +508,8 @@ impl SimService {
         self.shared.pool.drain();
         let st = self.shared.sched.lock().unwrap();
         let cache = self.shared.cache.lock().unwrap();
+        let mut trace_spans = std::mem::take(&mut *self.shared.trace.lock().unwrap());
+        sort_spans(&mut trace_spans);
         ServiceStats {
             jobs_completed: st.jobs_completed,
             jobs_failed: st.jobs_failed,
@@ -485,6 +519,7 @@ impl SimService {
             cache_entries: cache.map.len(),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
+            trace_spans,
         }
     }
 
@@ -542,11 +577,26 @@ fn worker_loop(shared: &Shared) {
             let mut meters = shared.meters.lock().unwrap();
             let meter = meters.entry(job.tenant).or_default();
             match &result {
-                Ok(out) => meter.absorb(&out.report, out.world_reused, out.cache_hit, out.retries),
+                Ok(out) => meter.absorb(
+                    &out.report,
+                    out.world_reused,
+                    out.cache_hit,
+                    out.retries,
+                    job.queue_pos,
+                ),
                 Err(JobError::Panicked { attempts, .. }) => {
                     meter.jobs_failed += 1;
                     meter.retries += (attempts - 1) as u64;
                 }
+            }
+        }
+        if let Ok(out) = &result {
+            if !out.trace_spans.is_empty() {
+                shared
+                    .trace
+                    .lock()
+                    .unwrap()
+                    .extend(out.trace_spans.iter().copied());
             }
         }
         {
@@ -583,8 +633,15 @@ fn run_job(shared: &Shared, job: &QueuedJob) -> Result<JobOutput, JobError> {
         // would — keeping the job's report bitwise identical to solo.
         let session = shared.pool.try_checkout(spec.ranks);
         let world_reused = session.is_some();
+        // One recorder per attempt: a panicked attempt's spans die with
+        // its world, so the surviving trace describes exactly the run
+        // that produced the returned bits.
+        let tracer = shared
+            .cfg
+            .trace
+            .then(|| Arc::new(TraceRecorder::for_job(job.tenant, job.job_id)));
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            run_attempt(&spec, &prep, session, fault_step)
+            run_attempt(&spec, &prep, session, fault_step, tracer.clone())
         }));
         match attempt {
             Ok((final_state, field, report, session)) => {
@@ -593,6 +650,19 @@ fn run_job(shared: &Shared, job: &QueuedJob) -> Result<JobOutput, JobError> {
                 // defense (a panicked attempt never even gets here —
                 // its world was consumed by the unwind).
                 shared.pool.checkin(session);
+                let trace_spans = tracer
+                    .map(|tr| {
+                        // The job envelope: one span covering the whole
+                        // per-job timeline, billed at the modeled
+                        // end-to-end clock.
+                        tr.push_absolute(
+                            Span::new(Track::Driver, "job", 0.0, tr.cursor_s())
+                                .phase(Phase::Job)
+                                .billed(report.total_s),
+                        );
+                        tr.take_spans()
+                    })
+                    .unwrap_or_default();
                 return Ok(JobOutput {
                     job_id: job.job_id,
                     tenant: job.tenant,
@@ -604,6 +674,7 @@ fn run_job(shared: &Shared, job: &QueuedJob) -> Result<JobOutput, JobError> {
                     cache_hit,
                     world_reused,
                     retries: attempts - 1,
+                    trace_spans,
                 });
             }
             Err(payload) => {
@@ -631,6 +702,7 @@ fn run_attempt(
     prep: &Prepared,
     session: Option<Session>,
     fault_step: Option<u64>,
+    tracer: Option<Arc<TraceRecorder>>,
 ) -> (SimState, FieldResult, SimReport, Session) {
     let mut integ = PersistentIntegrator::with_world(
         spec.sim_config(),
@@ -641,6 +713,7 @@ fn run_attempt(
             partition: Some(prep.part.clone()),
         },
     );
+    integ.set_tracer(tracer);
     for step in 1..=spec.steps {
         if fault_step == Some(step) {
             // The injected tenant bug: one rank dies mid-collective.
@@ -750,6 +823,7 @@ mod tests {
             cache_capacity: 4,
             max_retries: 0,
             start_paused: true,
+            trace: false,
         };
         let svc = SimService::start(cfg);
         let s = spec(60, 1, 2, 1);
@@ -792,6 +866,30 @@ mod tests {
         assert_eq!(out.report.steps, 1);
         let stats = svc.shutdown();
         assert_eq!(stats.jobs_completed, 1);
+    }
+
+    #[test]
+    fn tracing_is_job_scoped_and_invisible_to_results() {
+        let svc = SimService::start(ServiceConfig {
+            trace: true,
+            ..ServiceConfig::with_workers(1)
+        });
+        let out = svc.submit(3, spec(90, 3, 2, 2)).unwrap().wait().unwrap();
+        assert!(!out.trace_spans.is_empty(), "traced job must carry spans");
+        for s in &out.trace_spans {
+            assert_eq!((s.tenant, s.job), (Some(3), Some(out.job_id)));
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.trace_spans.len(), out.trace_spans.len());
+        assert_eq!(stats.trace_spans, out.trace_spans, "same sorted spans");
+
+        // Invisible: the identical spec untraced yields the same bits.
+        let svc = SimService::start(ServiceConfig::with_workers(1));
+        let plain = svc.submit(4, spec(90, 3, 2, 2)).unwrap().wait().unwrap();
+        assert!(plain.trace_spans.is_empty());
+        assert_eq!(out.state_digest, plain.state_digest);
+        assert_eq!(out.field_digest, plain.field_digest);
+        assert!(svc.shutdown().trace_spans.is_empty());
     }
 
     #[test]

@@ -6,11 +6,27 @@
 //! itself, which is what makes the reconciliation test exact:
 //! `meter.rma_bytes + meter.migration_bytes` equals the sum of the
 //! tenant's drained matrices to the last byte.
+//!
+//! Beyond the plain counters the meter keeps two fixed-bucket
+//! [`Histogram`]s — modeled job latency and queue depth at admission —
+//! and renders everything as a deterministic
+//! [`MetricsSnapshot`] via [`TenantMeter::snapshot`] (counters, derived
+//! gauges such as spawn amortization, and the distributions), the
+//! text/JSON surface the observability layer exports.
 
 use bltc_sim::SimReport;
+use bltc_trace::{Histogram, MetricsSnapshot};
+
+/// Modeled job-latency bucket bounds (seconds). Jobs in this stack run
+/// from sub-millisecond smoke specs to multi-second campaigns.
+const LATENCY_BOUNDS: [f64; 6] = [1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// Queue-depth-at-admission bucket bounds. `0` = dispatched
+/// immediately; the overflow bucket catches pathological backlogs.
+const QUEUE_BOUNDS: [f64; 4] = [0.0, 1.0, 3.0, 7.0];
 
 /// Cumulative resource usage of one tenant across all its jobs.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TenantMeter {
     /// Jobs admitted (immediately or queued).
     pub jobs_admitted: u64,
@@ -46,18 +62,52 @@ pub struct TenantMeter {
     pub cache_misses: u64,
     /// Attempts beyond the first across all jobs.
     pub retries: u64,
+    /// Distribution of modeled end-to-end seconds per completed job.
+    pub job_latency: Histogram,
+    /// Distribution of queue depth at admission per completed job
+    /// (0 = a worker slot was free when the job was submitted).
+    pub queue_wait: Histogram,
+}
+
+impl Default for TenantMeter {
+    fn default() -> Self {
+        Self {
+            jobs_admitted: 0,
+            jobs_completed: 0,
+            jobs_failed: 0,
+            jobs_rejected: 0,
+            steps: 0,
+            force_evals: 0,
+            rma_messages: 0,
+            rma_bytes: 0,
+            migration_messages: 0,
+            migration_bytes: 0,
+            device_seconds: 0.0,
+            modeled_seconds: 0.0,
+            world_spawns: 0,
+            world_reuses: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            retries: 0,
+            job_latency: Histogram::new(&LATENCY_BOUNDS),
+            queue_wait: Histogram::new(&QUEUE_BOUNDS),
+        }
+    }
 }
 
 impl TenantMeter {
     /// Fold one completed job's report in. `world_reused` and
     /// `cache_hit` describe how the *successful* attempt was served;
-    /// `retries` is the number of failed attempts before it.
+    /// `retries` is the number of failed attempts before it;
+    /// `queue_pos` is the queue depth the job was admitted at (0 for
+    /// [`crate::Admission::Immediate`]).
     pub fn absorb(
         &mut self,
         report: &SimReport,
         world_reused: bool,
         cache_hit: bool,
         retries: u32,
+        queue_pos: usize,
     ) {
         self.jobs_completed += 1;
         self.steps += report.steps;
@@ -78,6 +128,41 @@ impl TenantMeter {
             self.cache_misses += 1;
         }
         self.retries += retries as u64;
+        self.job_latency.record(report.total_s);
+        self.queue_wait.record(queue_pos as f64);
+    }
+
+    /// Render this meter as a deterministic [`MetricsSnapshot`]:
+    /// counters verbatim, derived gauges (spawn amortization = jobs
+    /// per world spawn, mean job latency), and the two distributions.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let amortization = if self.world_spawns > 0 {
+            self.jobs_completed as f64 / self.world_spawns as f64
+        } else {
+            self.jobs_completed as f64
+        };
+        MetricsSnapshot::new()
+            .counter("jobs_admitted", self.jobs_admitted)
+            .counter("jobs_completed", self.jobs_completed)
+            .counter("jobs_failed", self.jobs_failed)
+            .counter("jobs_rejected", self.jobs_rejected)
+            .counter("steps", self.steps)
+            .counter("force_evals", self.force_evals)
+            .counter("rma_messages", self.rma_messages)
+            .counter("rma_bytes", self.rma_bytes)
+            .counter("migration_messages", self.migration_messages)
+            .counter("migration_bytes", self.migration_bytes)
+            .counter("world_spawns", self.world_spawns)
+            .counter("world_reuses", self.world_reuses)
+            .counter("cache_hits", self.cache_hits)
+            .counter("cache_misses", self.cache_misses)
+            .counter("retries", self.retries)
+            .gauge("device_seconds", self.device_seconds)
+            .gauge("modeled_seconds", self.modeled_seconds)
+            .gauge("jobs_per_world_spawn", amortization)
+            .gauge("mean_job_latency_s", self.job_latency.mean())
+            .histogram("job_latency_s", self.job_latency.clone())
+            .histogram("queue_depth_at_admission", self.queue_wait.clone())
     }
 }
 
@@ -93,8 +178,8 @@ mod tests {
         r.compute_s = 0.25;
         r.total_s = 2.0;
         let mut m = TenantMeter::default();
-        m.absorb(&r, false, false, 0);
-        m.absorb(&r, true, true, 2);
+        m.absorb(&r, false, false, 0, 0);
+        m.absorb(&r, true, true, 2, 3);
         assert_eq!(m.jobs_completed, 2);
         assert_eq!(m.steps, 6);
         assert_eq!(m.force_evals, 8);
@@ -105,5 +190,42 @@ mod tests {
         assert_eq!(m.retries, 2);
         assert_eq!(m.device_seconds, 0.5);
         assert_eq!(m.modeled_seconds, 4.0);
+        assert_eq!(m.job_latency.count(), 2);
+        assert_eq!(m.job_latency.sum(), 4.0);
+        assert_eq!(m.queue_wait.count(), 2);
+        assert_eq!(m.queue_wait.min(), Some(0.0));
+        assert_eq!(m.queue_wait.max(), Some(3.0));
+    }
+
+    #[test]
+    fn snapshot_exposes_amortization_and_distributions() {
+        let mut r = SimReport::starting(2, 0.0, 1, 0.5);
+        r.steps = 1;
+        r.total_s = 0.5;
+        let mut m = TenantMeter {
+            jobs_admitted: 3,
+            ..TenantMeter::default()
+        };
+        m.absorb(&r, false, false, 0, 0);
+        r.world_spawns = 0;
+        m.absorb(&r, true, true, 0, 1);
+        m.absorb(&r, true, true, 0, 2);
+        let snap = m.snapshot();
+        let amort = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| *n == "jobs_per_world_spawn")
+            .expect("gauge present")
+            .1;
+        assert_eq!(amort, 3.0, "3 jobs amortized over 1 spawn");
+        assert_eq!(snap.histograms.len(), 2);
+        let text = snap.render_text();
+        assert!(text.contains("counter jobs_completed = 3"));
+        assert!(text.contains("hist job_latency_s: count=3"));
+        // Deterministic render: same meter, same bytes.
+        assert_eq!(
+            snap.to_json().render_compact(),
+            m.snapshot().to_json().render_compact()
+        );
     }
 }

@@ -35,6 +35,7 @@ use std::sync::Arc;
 use bltc_core::field::FieldResult;
 use bltc_core::kernel::GradientKernel;
 use bltc_dist::{eval_field_rank, DistConfig, FieldSession, RankLocal, RankReport};
+use bltc_trace::{Phase, Span, TraceRecorder, Track};
 use mpi_sim::runtime::TrafficMatrix;
 use mpi_sim::{Comm, Session};
 use rcb::RcbPartition;
@@ -141,6 +142,7 @@ pub struct PersistentIntegrator {
     step: u64,
     time: f64,
     report: SimReport,
+    tracer: Option<Arc<TraceRecorder>>,
 }
 
 impl PersistentIntegrator {
@@ -205,6 +207,7 @@ impl PersistentIntegrator {
             step: state.step,
             time: state.time,
             report: SimReport::starting(cfg.ranks, repartition_host_s, world_spawns, spawn_host_s),
+            tracer: None,
         };
         let eval = this.eval_epoch(false);
         let e0 = eval.kinetic + this.pair_to_potential(eval.pair_sum);
@@ -247,6 +250,28 @@ impl PersistentIntegrator {
     /// (see [`bltc_dist::FieldSession::into_session`]).
     pub fn into_session(self) -> Session {
         self.session.into_session()
+    }
+
+    /// Attach (or detach) a trace recorder. While attached, every
+    /// evaluation epoch's rank-side spans are absorbed onto the
+    /// recorder's continuous timeline and the driver emits envelope
+    /// spans on [`Track::Driver`]: one `step` span per
+    /// [`PersistentIntegrator::step`] (billed at the driver-side epoch
+    /// dispatch cost) and one `migration` span per repartition (billed
+    /// at the migration's host + comm seconds). Detaching (`None`) also
+    /// turns rank-side span collection off. Purely observational: the
+    /// trajectory, energies, traffic, and every modeled clock are
+    /// bitwise identical with or without a recorder (asserted by
+    /// `tests/trace.rs`). The launch-time force evaluation runs before
+    /// any recorder can be attached, so traces begin at step 1.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<TraceRecorder>>) {
+        self.session.set_tracing(tracer.is_some());
+        self.tracer = tracer;
+    }
+
+    /// The attached trace recorder, if any.
+    pub fn tracer(&self) -> Option<&Arc<TraceRecorder>> {
+        self.tracer.as_ref()
     }
 
     /// Gather the most recent field evaluation back into global
@@ -329,6 +354,10 @@ impl PersistentIntegrator {
         };
 
         let epoch_s = self.cfg.dist.host.epoch_seconds();
+        if let Some(tr) = &self.tracer {
+            tr.absorb_epoch(&er.spans);
+            tr.advance(epoch_s);
+        }
         self.report.force_evals += 1;
         self.report.epoch_host_s += epoch_s;
         self.report.setup_s += eval.setup_s;
@@ -349,6 +378,7 @@ impl PersistentIntegrator {
     pub fn step(&mut self) -> StepReport {
         let dt = self.cfg.dt;
         let half = 0.5 * dt;
+        let step_trace_start = self.tracer.as_ref().map(|tr| tr.cursor_s());
 
         // ---- epoch: half-kick + drift -------------------------------
         self.session.run_epoch(move |_comm, slot| {
@@ -362,6 +392,12 @@ impl PersistentIntegrator {
             }
         });
         let mut epoch_host_s = self.cfg.dist.host.epoch_seconds();
+        if let Some(tr) = &self.tracer {
+            // The kick–drift epoch moves no bytes and emits no
+            // rank-side spans; its driver dispatch cost still occupies
+            // timeline.
+            tr.advance(epoch_host_s);
+        }
         self.report.epoch_host_s += epoch_host_s;
         self.report.total_s += epoch_host_s;
         self.step += 1;
@@ -377,6 +413,16 @@ impl PersistentIntegrator {
         if repartitioned {
             let mig = self.session.migrate();
             let epoch_s = self.cfg.dist.host.epoch_seconds();
+            if let Some(tr) = &self.tracer {
+                let start = tr.cursor_s();
+                let dur = mig.host_s + mig.comm_s;
+                tr.push_absolute(
+                    Span::new(Track::Driver, "migration", start, start + dur)
+                        .phase(Phase::Migration)
+                        .bytes(mig.gather_bytes + mig.migrated_bytes),
+                );
+                tr.advance(dur + epoch_s);
+            }
             repartition_host_s = mig.host_s;
             migration_comm_s = mig.comm_s;
             migrated_particles = mig.migrated_particles;
@@ -398,6 +444,13 @@ impl PersistentIntegrator {
         // ---- epoch: evaluate + closing half-kick + energies ---------
         let eval = self.eval_epoch(true);
         epoch_host_s += self.cfg.dist.host.epoch_seconds();
+        if let (Some(tr), Some(start)) = (&self.tracer, step_trace_start) {
+            tr.push_absolute(
+                Span::new(Track::Driver, "step", start, tr.cursor_s())
+                    .phase(Phase::Step)
+                    .billed(epoch_host_s),
+            );
+        }
 
         let kinetic = eval.kinetic;
         let potential = self.pair_to_potential(eval.pair_sum);

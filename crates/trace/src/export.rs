@@ -1,0 +1,217 @@
+//! Trace exporters: Chrome trace-event JSON and a text flame summary.
+//!
+//! Both exporters sort their input with the total span ordering key
+//! before rendering, so output is byte-identical run-to-run regardless
+//! of the order workers deposited spans.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::recorder::sort_spans;
+use crate::span::Span;
+
+/// Render spans as a Chrome trace-event JSON document (the
+/// `{"traceEvents": [...]}` object format), loadable in Perfetto or
+/// `chrome://tracing`.
+///
+/// Layout: one process (`pid` 1, named `bltc`), one thread per distinct
+/// track; `tid`s are assigned by the sorted order of track labels, so
+/// the same span set always maps to the same thread ids. Timestamps are
+/// microseconds of modeled time with nanosecond precision. Every span
+/// becomes one `"X"` (complete) event whose `args` carry the typed
+/// attributes; `None` attributes are omitted so the document stays
+/// compact and stable.
+pub fn chrome_trace(spans: &[Span]) -> String {
+    let mut spans = spans.to_vec();
+    sort_spans(&mut spans);
+
+    // Deterministic tid assignment: sorted distinct track labels.
+    let mut tids: BTreeMap<String, u64> = spans.iter().map(|s| (s.track.label(), 0)).collect();
+    for (i, tid) in tids.values_mut().enumerate() {
+        *tid = i as u64 + 1;
+    }
+
+    let mut events = Vec::with_capacity(tids.len() + spans.len() + 1);
+    events.push(
+        Json::obj()
+            .field("name", Json::s("process_name"))
+            .field("ph", Json::s("M"))
+            .field("pid", Json::u(1))
+            .field("tid", Json::u(0))
+            .field("args", Json::obj().field("name", Json::s("bltc"))),
+    );
+    for (label, &tid) in &tids {
+        events.push(
+            Json::obj()
+                .field("name", Json::s("thread_name"))
+                .field("ph", Json::s("M"))
+                .field("pid", Json::u(1))
+                .field("tid", Json::u(tid))
+                .field("args", Json::obj().field("name", Json::s(label.clone()))),
+        );
+    }
+    for s in &spans {
+        let mut args = Json::obj()
+            .field("phase", Json::s(s.phase.label()))
+            .field("billed_s", Json::e(s.billed_s, 12));
+        if s.bytes > 0 {
+            args = args.field("bytes", Json::u(s.bytes));
+        }
+        if s.flops > 0.0 {
+            args = args.field("flops", Json::e(s.flops, 6));
+        }
+        if let Some(c) = s.chunk {
+            args = args.field("chunk", Json::u(c as u64));
+        }
+        if let Some(t) = s.target {
+            args = args.field("target", Json::u(t as u64));
+        }
+        if let Some(r) = s.resident_bytes {
+            args = args.field("resident_bytes", Json::u(r));
+        }
+        if let Some(t) = s.tenant {
+            args = args.field("tenant", Json::u(t));
+        }
+        if let Some(j) = s.job {
+            args = args.field("job", Json::u(j));
+        }
+        events.push(
+            Json::obj()
+                .field("name", Json::s(s.name))
+                .field("cat", Json::s(s.phase.label()))
+                .field("ph", Json::s("X"))
+                .field("ts", Json::f(s.start_s * 1e6, 3))
+                .field("dur", Json::f(s.duration_s() * 1e6, 3))
+                .field("pid", Json::u(1))
+                .field("tid", Json::u(tids[&s.track.label()]))
+                .field("args", args),
+        );
+    }
+
+    Json::obj()
+        .field("displayTimeUnit", Json::s("ns"))
+        .field("traceEvents", Json::arr(events))
+        .render_compact()
+}
+
+/// Render a compact text flamegraph-style rollup: a makespan header,
+/// billed seconds per phase, and billed seconds per track (each with
+/// its dominant span names). Deterministic line order.
+pub fn flame_summary(spans: &[Span]) -> String {
+    let mut spans = spans.to_vec();
+    sort_spans(&mut spans);
+
+    let makespan = spans.iter().fold(0.0f64, |m, s| m.max(s.end_s));
+    let billed_total: f64 = spans.iter().map(|s| s.billed_s).sum();
+
+    let mut by_phase: BTreeMap<&'static str, (u64, f64)> = BTreeMap::new();
+    let mut by_track: BTreeMap<String, (u64, f64, u64)> = BTreeMap::new();
+    let mut by_name: BTreeMap<(String, &'static str), f64> = BTreeMap::new();
+    for s in &spans {
+        let e = by_phase.entry(s.phase.label()).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += s.billed_s;
+        let e = by_track.entry(s.track.label()).or_insert((0, 0.0, 0));
+        e.0 += 1;
+        e.1 += s.billed_s;
+        e.2 += s.bytes;
+        *by_name.entry((s.track.label(), s.name)).or_insert(0.0) += s.billed_s;
+    }
+
+    let mut out = format!(
+        "trace: {} spans, makespan {:.6e} s, billed {:.6e} s\n",
+        spans.len(),
+        makespan,
+        billed_total
+    );
+    out.push_str("phases:\n");
+    for (phase, (count, billed)) in &by_phase {
+        out.push_str(&format!(
+            "  {phase:<12} {count:>6} spans  {billed:>14.6e} s\n"
+        ));
+    }
+    out.push_str("tracks:\n");
+    for (track, (count, billed, bytes)) in &by_track {
+        out.push_str(&format!(
+            "  {track:<22} {count:>6} spans  {billed:>14.6e} s  {bytes:>12} B\n"
+        ));
+        let mut names: Vec<(&&'static str, &f64)> = by_name
+            .iter()
+            .filter(|((t, _), _)| t == track)
+            .map(|((_, n), b)| (n, b))
+            .collect();
+        names.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap().then(a.0.cmp(b.0)));
+        for (name, billed) in names.into_iter().take(4) {
+            out.push_str(&format!("    {name:<20} {billed:>14.6e} s\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Phase, Track};
+
+    fn sample() -> Vec<Span> {
+        vec![
+            Span::new(Track::Host(0), "build", 0.0, 2e-5).phase(Phase::SetupHost),
+            Span::new(Track::Nic(0), "skeleton-get", 2e-5, 5e-5)
+                .phase(Phase::SetupComm)
+                .bytes(1024)
+                .target(1),
+            Span::new(Track::DeviceStream(0, 1), "remote-chunk", 5e-5, 9e-5)
+                .phase(Phase::Compute)
+                .flops(1e6)
+                .chunk(0),
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic_and_complete() {
+        let spans = sample();
+        let mut reversed = spans.clone();
+        reversed.reverse();
+        let a = chrome_trace(&spans);
+        let b = chrome_trace(&reversed);
+        assert_eq!(a, b, "span order must not affect output bytes");
+        assert!(a.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(a.contains("\"name\":\"process_name\""));
+        assert!(a.contains("\"name\":\"device/0/stream/1\""));
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"cat\":\"setup_comm\""));
+        assert!(a.contains("\"bytes\":1024"));
+        assert!(a.contains("\"chunk\":0"));
+        // One M event per track + process_name + one X per span.
+        assert_eq!(a.matches("\"ph\":\"M\"").count(), 4);
+        assert_eq!(a.matches("\"ph\":\"X\"").count(), 3);
+    }
+
+    #[test]
+    fn tids_follow_sorted_track_labels() {
+        let a = chrome_trace(&sample());
+        // Sorted labels: device/0/stream/1 < host/0 < nic/0.
+        let dev = a.find("\"name\":\"device/0/stream/1\"").unwrap();
+        let host = a.find("\"name\":\"host/0\"").unwrap();
+        let nic = a.find("\"name\":\"nic/0\"").unwrap();
+        assert!(dev < host && host < nic);
+    }
+
+    #[test]
+    fn flame_summary_rolls_up() {
+        let text = flame_summary(&sample());
+        assert!(text.starts_with("trace: 3 spans"));
+        assert!(text.contains("setup_host"));
+        assert!(text.contains("host/0"));
+        assert!(text.contains("skeleton-get"));
+        assert_eq!(text, flame_summary(&sample()));
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let json = chrome_trace(&[]);
+        assert!(json.contains("\"traceEvents\":[{"));
+        let text = flame_summary(&[]);
+        assert!(text.starts_with("trace: 0 spans"));
+    }
+}

@@ -1,0 +1,298 @@
+//! A deterministic, insertion-ordered JSON document builder.
+//!
+//! The bench bins and the trace exporters all need the same thing: a
+//! small JSON document whose field order, float formatting, and
+//! whitespace are fully deterministic (the workspace pins byte-identical
+//! trace exports, and the committed `BENCH_*.json` artifacts diff
+//! cleanly run-to-run). `serde` is out of reach in the offline build,
+//! and hand-rolled `format!` blocks were duplicated across four bins —
+//! this module is the shared writer.
+//!
+//! Numbers are captured *pre-formatted* ([`Json::f`] fixed decimals,
+//! [`Json::e`] scientific) so a document renders exactly the digits the
+//! caller chose, not whatever `Display` would pick.
+//!
+//! ```
+//! use bltc_trace::json::Json;
+//!
+//! let doc = Json::obj()
+//!     .field("bench", Json::s("demo"))
+//!     .field("config", Json::obj().field("n", Json::u(2000)).field("rate", Json::f(12.5, 3)));
+//! assert_eq!(
+//!     doc.render_bench(),
+//!     "{\n  \"bench\": \"demo\",\n  \"config\": { \"n\": 2000, \"rate\": 12.500 }\n}\n"
+//! );
+//! ```
+
+/// One JSON value. Objects preserve insertion order; numbers are stored
+/// pre-formatted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A pre-formatted numeric literal.
+    Num(String),
+    /// A string (escaped at render time).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered fields.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object (builder root).
+    pub fn obj() -> Self {
+        Json::Obj(Vec::new())
+    }
+
+    /// An array from already-built values.
+    pub fn arr(items: Vec<Json>) -> Self {
+        Json::Arr(items)
+    }
+
+    /// A string value.
+    pub fn s(v: impl Into<String>) -> Self {
+        Json::Str(v.into())
+    }
+
+    /// A boolean value.
+    pub fn b(v: bool) -> Self {
+        Json::Bool(v)
+    }
+
+    /// An unsigned integer.
+    pub fn u(v: u64) -> Self {
+        Json::Num(v.to_string())
+    }
+
+    /// A signed integer.
+    pub fn i(v: i64) -> Self {
+        Json::Num(v.to_string())
+    }
+
+    /// A float with fixed decimal places (`{v:.prec$}`).
+    pub fn f(v: f64, prec: usize) -> Self {
+        Json::Num(format!("{v:.prec$}"))
+    }
+
+    /// A float in scientific notation (`{v:.prec$e}`).
+    pub fn e(v: f64, prec: usize) -> Self {
+        Json::Num(format!("{v:.prec$e}"))
+    }
+
+    /// Append a field to an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn field(mut self, key: impl Into<String>, value: Json) -> Self {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.into(), value)),
+            _ => panic!("Json::field on a non-object"),
+        }
+        self
+    }
+
+    /// Render in the bench-artifact house style: the top-level object
+    /// puts each field on its own 2-space-indented line; a top-level
+    /// array of objects (a row table) puts each row inline on its own
+    /// 4-space-indented line; everything else nested renders inline
+    /// (`{ "a": 1, "b": 2 }` / `[1, 2]`). A trailing newline terminates
+    /// the document.
+    pub fn render_bench(&self) -> String {
+        match self {
+            Json::Obj(fields) => {
+                let mut out = String::from("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str("  \"");
+                    escape_into(k, &mut out);
+                    out.push_str("\": ");
+                    match v {
+                        Json::Arr(items)
+                            if !items.is_empty()
+                                && items.iter().all(|it| matches!(it, Json::Obj(_))) =>
+                        {
+                            out.push_str("[\n");
+                            for (j, row) in items.iter().enumerate() {
+                                out.push_str("    ");
+                                row.render_inline(&mut out);
+                                out.push_str(if j + 1 < items.len() { ",\n" } else { "\n" });
+                            }
+                            out.push_str("  ]");
+                        }
+                        _ => v.render_inline(&mut out),
+                    }
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str("}\n");
+                out
+            }
+            _ => {
+                let mut out = String::new();
+                self.render_inline(&mut out);
+                out.push('\n');
+                out
+            }
+        }
+    }
+
+    /// Render fully compact (no whitespace).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_compact_into(&mut out);
+        out
+    }
+
+    fn render_inline(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(n),
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    v.render_inline(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push_str("{ ");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\": ");
+                    v.render_inline(out);
+                }
+                out.push_str(" }");
+            }
+        }
+    }
+
+    fn render_compact_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(n),
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_compact_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\":");
+                    v.render_compact_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_style_matches_the_house_format() {
+        let doc = Json::obj()
+            .field("bench", Json::s("x"))
+            .field("smoke", Json::b(false))
+            .field(
+                "config",
+                Json::obj()
+                    .field("jobs", Json::u(24))
+                    .field("rate", Json::f(1.5, 3)),
+            )
+            .field("list", Json::arr(vec![Json::u(1), Json::u(2)]));
+        assert_eq!(
+            doc.render_bench(),
+            "{\n  \"bench\": \"x\",\n  \"smoke\": false,\n  \
+             \"config\": { \"jobs\": 24, \"rate\": 1.500 },\n  \"list\": [1, 2]\n}\n"
+        );
+    }
+
+    #[test]
+    fn row_tables_render_one_row_per_line() {
+        let doc = Json::obj().field(
+            "rows",
+            Json::arr(vec![
+                Json::obj().field("ranks", Json::u(1)),
+                Json::obj().field("ranks", Json::u(2)),
+            ]),
+        );
+        assert_eq!(
+            doc.render_bench(),
+            "{\n  \"rows\": [\n    { \"ranks\": 1 },\n    { \"ranks\": 2 }\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn compact_and_escaping() {
+        let doc = Json::obj()
+            .field("s", Json::s("a\"b\\c\nd"))
+            .field("n", Json::Null)
+            .field("e", Json::e(1234.5, 3));
+        assert_eq!(
+            doc.render_compact(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"n\":null,\"e\":1.234e3}"
+        );
+    }
+
+    #[test]
+    fn number_formatting_is_fixed() {
+        assert_eq!(Json::f(0.1 + 0.2, 6).render_compact(), "0.300000");
+        assert_eq!(Json::i(-4).render_compact(), "-4");
+        assert_eq!(Json::u(u64::MAX).render_compact(), u64::MAX.to_string());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn field_on_non_object_panics() {
+        let _ = Json::u(1).field("k", Json::Null);
+    }
+}

@@ -1,0 +1,258 @@
+//! Fixed-bucket histograms and counter/gauge snapshots.
+//!
+//! The service meters per-tenant work with plain counters; this module
+//! adds the two shapes counters can't express — distributions (job
+//! latency, queue wait) and derived gauges (spawn amortization) — while
+//! staying deterministic: bucket bounds are fixed at construction, and
+//! snapshots render through the same insertion-ordered JSON writer the
+//! exporters use.
+
+use crate::json::Json;
+
+/// A fixed-bucket histogram. `bounds` are the inclusive upper edges of
+/// the finite buckets; one implicit overflow bucket catches everything
+/// above the last bound. Recording is exact integer counting plus an
+/// exact running sum/min/max — no sampling, no decay — so two runs that
+/// record the same values produce identical histograms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram with the given finite bucket upper bounds (must be
+    /// strictly increasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The finite bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// JSON representation: bounds, counts (incl. overflow), count,
+    /// sum, min, max.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field(
+                "bounds",
+                Json::arr(self.bounds.iter().map(|&b| Json::e(b, 6)).collect()),
+            )
+            .field(
+                "counts",
+                Json::arr(self.counts.iter().map(|&c| Json::u(c)).collect()),
+            )
+            .field("count", Json::u(self.count))
+            .field("sum", Json::e(self.sum, 12))
+            .field(
+                "min",
+                self.min().map(|v| Json::e(v, 12)).unwrap_or(Json::Null),
+            )
+            .field(
+                "max",
+                self.max().map(|v| Json::e(v, 12)).unwrap_or(Json::Null),
+            )
+    }
+}
+
+/// A point-in-time, deterministic dump of named counters, gauges, and
+/// histograms. Entries render in insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic integer counters.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Instantaneous float gauges.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// Fixed-bucket distributions.
+    pub histograms: Vec<(&'static str, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a counter.
+    pub fn counter(mut self, name: &'static str, v: u64) -> Self {
+        self.counters.push((name, v));
+        self
+    }
+
+    /// Append a gauge.
+    pub fn gauge(mut self, name: &'static str, v: f64) -> Self {
+        self.gauges.push((name, v));
+        self
+    }
+
+    /// Append a histogram.
+    pub fn histogram(mut self, name: &'static str, h: Histogram) -> Self {
+        self.histograms.push((name, h));
+        self
+    }
+
+    /// JSON representation (insertion-ordered).
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for &(name, v) in &self.counters {
+            counters = counters.field(name, Json::u(v));
+        }
+        let mut gauges = Json::obj();
+        for &(name, v) in &self.gauges {
+            gauges = gauges.field(name, Json::e(v, 12));
+        }
+        let mut histograms = Json::obj();
+        for (name, h) in &self.histograms {
+            histograms = histograms.field(*name, h.to_json());
+        }
+        Json::obj()
+            .field("counters", counters)
+            .field("gauges", gauges)
+            .field("histograms", histograms)
+    }
+
+    /// Compact human-readable text dump, one metric per line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for &(name, v) in &self.counters {
+            out.push_str(&format!("counter {name} = {v}\n"));
+        }
+        for &(name, v) in &self.gauges {
+            out.push_str(&format!("gauge {name} = {v:.6e}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "hist {name}: count={} sum={:.6e} mean={:.6e}",
+                h.count(),
+                h.sum(),
+                h.mean()
+            ));
+            if let (Some(lo), Some(hi)) = (h.min(), h.max()) {
+                out.push_str(&format!(" min={lo:.6e} max={hi:.6e}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 1.0, 5.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 106.5);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(100.0));
+        assert_eq!(h.mean(), 106.5 / 4.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extremes() {
+        let h = Histogram::new(&[1.0]);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.to_json().render_compact().contains("\"min\":null"));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_panic() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn snapshot_renders_deterministically() {
+        let mut h = Histogram::new(&[1.0]);
+        h.record(0.5);
+        let snap = MetricsSnapshot::new()
+            .counter("jobs", 3)
+            .gauge("amortization", 1.5)
+            .histogram("latency", h);
+        assert_eq!(
+            snap.to_json().render_compact(),
+            snap.to_json().render_compact()
+        );
+        let text = snap.render_text();
+        assert!(text.contains("counter jobs = 3"));
+        assert!(text.contains("gauge amortization"));
+        assert!(text.contains("hist latency: count=1"));
+    }
+}

@@ -1,0 +1,266 @@
+//! The span type: one interval of modeled time on a named resource.
+
+/// The serial phase a span's billed seconds reconcile against. The
+/// first five variants are exactly the `RankReport` phase clocks of
+/// `bltc-dist`; the rest label driver-level and service-level work that
+/// has no serial phase to reconcile with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Host-side setup: tree/batch build, traversal, LET unpacking.
+    SetupHost,
+    /// One-sided communication (α–β network model).
+    SetupComm,
+    /// PCIe staging of sources and LET payloads.
+    SetupStage,
+    /// Device precompute (modified charges) + charge DtH.
+    Precompute,
+    /// Device compute: local block, remote-eval kernels, potential DtH.
+    Compute,
+    /// One velocity-Verlet step (driver-level).
+    Step,
+    /// One repartition/migration epoch (driver-level).
+    Migration,
+    /// Whole-job envelope (service-level).
+    Job,
+}
+
+impl Phase {
+    /// Stable lowercase label (used as the Chrome `cat` field).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::SetupHost => "setup_host",
+            Phase::SetupComm => "setup_comm",
+            Phase::SetupStage => "setup_stage",
+            Phase::Precompute => "precompute",
+            Phase::Compute => "compute",
+            Phase::Step => "step",
+            Phase::Migration => "migration",
+            Phase::Job => "job",
+        }
+    }
+}
+
+/// A named resource timeline. Rank-scoped tracks mirror the four
+/// resources of the pipelined phase DAG; [`Track::Driver`] carries
+/// driver-level step/migration/job spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// The driver thread (steps, migrations, job envelopes).
+    Driver,
+    /// `host/{rank}` — the rank's host CPU.
+    Host(u32),
+    /// `nic/{rank}` — the rank's one-sided network interface.
+    Nic(u32),
+    /// `pcie/{rank}` — the rank's host↔device link.
+    Pcie(u32),
+    /// `device/{rank}/stream/{s}` — one simulated device stream.
+    DeviceStream(u32, u32),
+}
+
+impl Track {
+    /// The canonical track label, e.g. `host/3` or `device/0/stream/2`.
+    pub fn label(self) -> String {
+        match self {
+            Track::Driver => "driver".to_string(),
+            Track::Host(r) => format!("host/{r}"),
+            Track::Nic(r) => format!("nic/{r}"),
+            Track::Pcie(r) => format!("pcie/{r}"),
+            Track::DeviceStream(r, s) => format!("device/{r}/stream/{s}"),
+        }
+    }
+
+    /// The rank this track belongs to (`None` for the driver).
+    pub fn rank(self) -> Option<u32> {
+        match self {
+            Track::Driver => None,
+            Track::Host(r) | Track::Nic(r) | Track::Pcie(r) | Track::DeviceStream(r, _) => Some(r),
+        }
+    }
+}
+
+/// One interval of modeled time. `start_s`/`end_s` are *wall positions
+/// on the modeled timeline* (where the work sits in the overlap-aware
+/// schedule); `billed_s` is the exact serial seconds the span accounts
+/// for — the quantity that reconciles against the phase clocks. The
+/// two differ whenever work is stretched by resource sharing (device
+/// streams) or waits on a dependency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Resource timeline the span occupies.
+    pub track: Track,
+    /// Short static label (`"build"`, `"let-chunk-get"`, …).
+    pub name: &'static str,
+    /// Modeled start, seconds.
+    pub start_s: f64,
+    /// Modeled end, seconds (`≥ start_s`).
+    pub end_s: f64,
+    /// Serial phase this span bills against.
+    pub phase: Phase,
+    /// Exact serial seconds billed (sums per phase reconcile against
+    /// the `RankReport` phase totals).
+    pub billed_s: f64,
+    /// Payload bytes moved (0 when not a transfer).
+    pub bytes: u64,
+    /// Flops executed (0.0 when not compute).
+    pub flops: f64,
+    /// LET chunk id within the rank's land order, if any.
+    pub chunk: Option<u32>,
+    /// Remote rank the span communicates with, if any.
+    pub target: Option<u32>,
+    /// Resident remote-payload bytes after this span (LET watermark).
+    pub resident_bytes: Option<u64>,
+    /// Submitting tenant (stamped by the recorder in service runs).
+    pub tenant: Option<u64>,
+    /// Job id (stamped by the recorder in service runs).
+    pub job: Option<u64>,
+}
+
+impl Span {
+    /// A bare span; attributes default to zero/none and `billed_s` to
+    /// the wall duration.
+    pub fn new(track: Track, name: &'static str, start_s: f64, end_s: f64) -> Self {
+        Self {
+            track,
+            name,
+            start_s,
+            end_s,
+            phase: Phase::Compute,
+            billed_s: end_s - start_s,
+            bytes: 0,
+            flops: 0.0,
+            chunk: None,
+            target: None,
+            resident_bytes: None,
+            tenant: None,
+            job: None,
+        }
+    }
+
+    /// Set the serial phase.
+    pub fn phase(mut self, phase: Phase) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Set the exact billed seconds.
+    pub fn billed(mut self, billed_s: f64) -> Self {
+        self.billed_s = billed_s;
+        self
+    }
+
+    /// Set the payload byte count.
+    pub fn bytes(mut self, bytes: u64) -> Self {
+        self.bytes = bytes;
+        self
+    }
+
+    /// Set the flop count.
+    pub fn flops(mut self, flops: f64) -> Self {
+        self.flops = flops;
+        self
+    }
+
+    /// Set the LET chunk id.
+    pub fn chunk(mut self, chunk: u32) -> Self {
+        self.chunk = Some(chunk);
+        self
+    }
+
+    /// Set the remote rank.
+    pub fn target(mut self, target: u32) -> Self {
+        self.target = Some(target);
+        self
+    }
+
+    /// Set the resident-byte watermark.
+    pub fn resident(mut self, resident_bytes: u64) -> Self {
+        self.resident_bytes = Some(resident_bytes);
+        self
+    }
+
+    /// Wall duration on the modeled timeline.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// Total deterministic ordering key used by the recorder and the
+    /// exporters: (tenant, job, track, start, end, name, chunk).
+    #[allow(clippy::type_complexity)]
+    pub fn sort_key(
+        &self,
+    ) -> (
+        Option<u64>,
+        Option<u64>,
+        Track,
+        u64,
+        u64,
+        &'static str,
+        Option<u32>,
+        Option<u32>,
+    ) {
+        (
+            self.tenant,
+            self.job,
+            self.track,
+            self.start_s.total_cmp_key(),
+            self.end_s.total_cmp_key(),
+            self.name,
+            self.chunk,
+            self.target,
+        )
+    }
+}
+
+/// Total-order key for an `f64` (IEEE-754 total ordering on the sign-
+/// flipped bit pattern), so span sorting is a strict weak order even if
+/// a NaN ever sneaks into a clock.
+trait TotalCmpKey {
+    fn total_cmp_key(self) -> u64;
+}
+
+impl TotalCmpKey for f64 {
+    fn total_cmp_key(self) -> u64 {
+        let bits = self.to_bits();
+        if bits >> 63 == 0 {
+            bits ^ (1 << 63)
+        } else {
+            !bits
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn track_labels() {
+        assert_eq!(Track::Host(3).label(), "host/3");
+        assert_eq!(Track::Nic(0).label(), "nic/0");
+        assert_eq!(Track::Pcie(7).label(), "pcie/7");
+        assert_eq!(Track::DeviceStream(1, 2).label(), "device/1/stream/2");
+        assert_eq!(Track::Driver.label(), "driver");
+        assert_eq!(Track::DeviceStream(1, 2).rank(), Some(1));
+        assert_eq!(Track::Driver.rank(), None);
+    }
+
+    #[test]
+    fn builder_defaults_billed_to_duration() {
+        let s = Span::new(Track::Host(0), "x", 1.0, 3.0);
+        assert_eq!(s.billed_s, 2.0);
+        assert_eq!(s.duration_s(), 2.0);
+        let s = s.billed(0.5).bytes(64).chunk(2).target(1).resident(64);
+        assert_eq!(s.billed_s, 0.5);
+        assert_eq!(
+            (s.bytes, s.chunk, s.target, s.resident_bytes),
+            (64, Some(2), Some(1), Some(64))
+        );
+    }
+
+    #[test]
+    fn total_cmp_key_orders_floats() {
+        let mut v = [1.0f64, -2.0, 0.0, -0.0, 3.5];
+        v.sort_by_key(|x| x.total_cmp_key());
+        assert_eq!(v, [-2.0, -0.0, 0.0, 1.0, 3.5]);
+    }
+}

@@ -21,6 +21,11 @@
 //!   per-step energy monitoring, and cumulative phase/traffic
 //!   accounting; ready-made Plummer-sphere and screened-electrolyte
 //!   scenarios. See `examples/distributed_dynamics.rs`.
+//! - [`trace`] — deterministic tracing and metrics: modeled-clock spans
+//!   over named resource tracks, Chrome trace-event (Perfetto) export,
+//!   flame summaries, and fixed-bucket histograms. Tracing is bitwise
+//!   invisible to every computed result. See
+//!   `examples/trace_timeline.rs`.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +46,7 @@ pub use bltc_dist as dist;
 pub use bltc_gpu as gpu;
 pub use bltc_service as service;
 pub use bltc_sim as sim;
+pub use bltc_trace as trace;
 pub use gpu_sim;
 pub use mpi_sim;
 pub use rcb as rcb_partition;

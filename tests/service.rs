@@ -180,6 +180,7 @@ fn tenants_are_bitwise_invisible_across_pool_and_tenant_mixes() {
                 cache_capacity: 16,
                 max_retries: 0,
                 start_paused: false,
+                trace: false,
             });
             let tickets: Vec<_> = (0..tenants)
                 .map(|t| svc.submit(t as TenantId, specs[t]).expect("admitted"))
@@ -233,6 +234,7 @@ fn mid_run_tenant_panic_does_not_perturb_survivors() {
         cache_capacity: 8,
         max_retries: 0,
         start_paused: false,
+        trace: false,
     });
     let bad = svc.submit(99, doomed).expect("admitted");
     let good: Vec<_> = survivors
@@ -434,6 +436,7 @@ proptest! {
             cache_capacity: 8,
             max_retries: 0,
             start_paused: true,
+            trace: false,
         });
         let mut tickets = Vec::new();
         for (i, spec) in specs.iter().enumerate() {
