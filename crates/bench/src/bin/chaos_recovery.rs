@@ -1,0 +1,215 @@
+//! Chaos recovery overhead: what does surviving an injected fault
+//! cost, and how does the checkpoint cadence trade recovery time
+//! against checkpoint count?
+//!
+//! For each checkpoint cadence in {never, 3, 2, 1} the harness runs
+//! the same Plummer dynamics job through
+//! [`bltc_chaos::run_supervised`] twice:
+//!
+//! 1. **deterministic panic** — a single fatal fault at a fixed epoch,
+//!    so the restored-from step, modeled MTTR (backoff + respawn), and
+//!    the wall-clock rework factor are directly comparable across
+//!    cadences;
+//! 2. **seeded sweep** — `--seeds` random [`FaultPlan`]s (panics,
+//!    transient RMA failures, stragglers, degraded links) at that
+//!    cadence, accumulating faults seen, recoveries taken, and MTTR.
+//!
+//! Every faulted run's final state, field, and report are asserted
+//! **bitwise identical** to the unfaulted golden run while measuring —
+//! the bench validates the recovery contract it benchmarks. Results go
+//! to `--out` (default `BENCH_chaos.json`).
+//!
+//! ```text
+//! cargo run --release --bin chaos_recovery [-- --n 1200 --ranks 4]
+//! cargo run --release --bin chaos_recovery -- --smoke   # CI-sized
+//! ```
+
+use std::time::Instant;
+
+use bltc_bench::json::Json;
+use bltc_bench::Args;
+use bltc_chaos::{run_supervised, FaultPlan, SupervisedRun, SupervisorConfig};
+use bltc_core::config::BltcParams;
+use bltc_dist::DistConfig;
+use bltc_sim::scenario::plummer_sphere;
+use bltc_sim::SimConfig;
+
+fn assert_bitwise(out: &SupervisedRun, clean: &SupervisedRun, what: &str) {
+    assert_eq!(out.final_state, clean.final_state, "{what}: state diverged");
+    assert_eq!(out.field, clean.field, "{what}: field diverged");
+    assert_eq!(out.report, clean.report, "{what}: report diverged");
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("smoke");
+    let n = args.usize("n", if smoke { 300 } else { 1_200 });
+    let ranks = args.usize("ranks", if smoke { 2 } else { 4 });
+    let steps = args.usize("steps", if smoke { 3 } else { 6 }) as u64;
+    let seeds = args.usize("seeds", if smoke { 3 } else { 8 }) as u64;
+    let out_path = args
+        .get_opt("out")
+        .unwrap_or_else(|| "BENCH_chaos.json".to_string());
+
+    // Every panic this bin provokes is injected by design (the fault
+    // itself plus the poison unwinds it triggers on peer ranks) —
+    // keep their backtraces off the bench output. Anything else still
+    // reaches the default hook.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let text = info
+            .payload()
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        let injected = text.starts_with("chaos:") || text.starts_with("SPMD world poisoned");
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let (state, model) = plummer_sphere(n, 1.0, 0.05, 29);
+    let cfg = SimConfig::new(
+        DistConfig::comet(BltcParams::new(0.7, 4, 80, 80)),
+        ranks,
+        1e-3,
+    )
+    .with_repartition_every(2);
+
+    println!("chaos_recovery — injected-fault sweep over checkpoint cadence");
+    println!("N = {n}, {ranks} ranks, {steps} steps, {seeds} seeded plans per cadence\n");
+
+    // Unfaulted golden run: the bits every faulted run must land on,
+    // and the wall-clock baseline the rework factor is measured
+    // against.
+    let t0 = Instant::now();
+    let clean = run_supervised(
+        cfg,
+        &state,
+        &model,
+        steps,
+        &FaultPlan::new(ranks),
+        &SupervisorConfig::default(),
+    )
+    .expect("clean run");
+    let clean_wall = t0.elapsed().as_secs_f64();
+    println!(
+        "golden run: {clean_wall:>7.3}s wall, {:.6e} modeled s\n",
+        clean.report.total_s
+    );
+    println!(
+        "{:>8} | {:>9} {:>13} {:>12} {:>9} | {:>6} {:>10} {:>12}",
+        "cadence",
+        "restored",
+        "mttr_s",
+        "rework_x",
+        "ckpts",
+        "faults",
+        "recoveries",
+        "sweep mttr_s"
+    );
+
+    // A fatal panic roughly two-thirds through the run (each step is
+    // roughly two to three epochs): late enough that frequent
+    // checkpoints visibly shrink the rework, and present at every
+    // cadence, since checkpoint epochs only push work epochs later,
+    // never remove them.
+    let panic_epoch = 2 * steps - 1;
+    let panic_plan = FaultPlan::new(ranks).panic_at(panic_epoch, ranks - 1);
+
+    let mut rows = Vec::new();
+    for cadence in [None, Some(3), Some(2), Some(1)] {
+        let opts = SupervisorConfig {
+            checkpoint_every: cadence,
+            ..SupervisorConfig::default()
+        };
+        let label = match cadence {
+            None => "never".to_string(),
+            Some(k) => k.to_string(),
+        };
+
+        // Phase 1: the deterministic panic.
+        let t0 = Instant::now();
+        let out = run_supervised(cfg, &state, &model, steps, &panic_plan, &opts)
+            .unwrap_or_else(|e| panic!("cadence {label}: {e}"));
+        let wall = t0.elapsed().as_secs_f64();
+        assert_bitwise(&out, &clean, &format!("cadence {label} panic"));
+        assert_eq!(out.recovery.recoveries, 1);
+        let restored = out.recovery.episodes[0].restored_from_step;
+        let rework = wall / clean_wall;
+        let checkpoints = match cadence {
+            None => 0,
+            // One checkpoint after every cadence-multiple step except
+            // the last (a checkpoint at the finish line is dead cost).
+            Some(k) => (steps - 1) / k,
+        };
+
+        // Phase 2: the seeded sweep.
+        let mut sweep_faults = 0u64;
+        let mut sweep_recoveries = 0u64;
+        let mut sweep_mttr = 0.0f64;
+        for seed in 0..seeds {
+            let plan = FaultPlan::seeded(seed, ranks, 2 * steps);
+            let run = run_supervised(cfg, &state, &model, steps, &plan, &opts)
+                .unwrap_or_else(|e| panic!("cadence {label} seed {seed}: {e}"));
+            assert_bitwise(&run, &clean, &format!("cadence {label} seed {seed}"));
+            sweep_faults += run.recovery.faults_seen;
+            sweep_recoveries += u64::from(run.recovery.recoveries);
+            sweep_mttr += run.recovery.mttr_s;
+        }
+
+        println!(
+            "{label:>8} | {restored:>9} {:>13.6e} {rework:>12.2} {checkpoints:>9} | {sweep_faults:>6} {sweep_recoveries:>10} {sweep_mttr:>12.6e}",
+            out.recovery.mttr_s
+        );
+        rows.push(
+            Json::obj()
+                .field("cadence", Json::s(&label))
+                .field("checkpoints_taken", Json::u(checkpoints))
+                .field(
+                    "panic",
+                    Json::obj()
+                        .field("restored_from_step", Json::u(restored))
+                        .field("mttr_s", Json::e(out.recovery.mttr_s, 6))
+                        .field("backoff_s", Json::e(out.recovery.backoff_s, 6))
+                        .field("respawn_s", Json::e(out.recovery.respawn_s, 6))
+                        .field("wall_rework_x", Json::f(rework, 3)),
+                )
+                .field(
+                    "seeded_sweep",
+                    Json::obj()
+                        .field("plans", Json::u(seeds))
+                        .field("faults_seen", Json::u(sweep_faults))
+                        .field("recoveries", Json::u(sweep_recoveries))
+                        .field("mttr_s", Json::e(sweep_mttr, 6)),
+                ),
+        );
+    }
+
+    println!("\n(every faulted run asserted bitwise identical to the golden run)");
+
+    let doc = Json::obj()
+        .field("bench", Json::s("chaos_recovery"))
+        .field("smoke", Json::b(smoke))
+        .field(
+            "config",
+            Json::obj()
+                .field("n", Json::u(n as u64))
+                .field("ranks", Json::u(ranks as u64))
+                .field("steps", Json::u(steps))
+                .field("seeds_per_cadence", Json::u(seeds))
+                .field("panic_epoch", Json::u(panic_epoch)),
+        )
+        .field(
+            "golden",
+            Json::obj()
+                .field("wall_s", Json::f(clean_wall, 6))
+                .field("modeled_total_s", Json::e(clean.report.total_s, 6)),
+        )
+        .field("cadences", Json::arr(rows))
+        .field("bitwise_identical_to_golden", Json::b(true));
+    std::fs::write(&out_path, doc.render_bench()).expect("write bench json");
+    println!("wrote {out_path}");
+}

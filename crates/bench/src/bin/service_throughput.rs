@@ -62,6 +62,9 @@ fn job_list(jobs: usize, distinct: usize, n: usize, ranks: usize, steps: u64) ->
                 repartition_every: 2,
                 dist,
                 fault: Fault::None,
+                checkpoint_every: None,
+                deadline_s: None,
+                allow_degraded: false,
             }
         })
         .collect()
@@ -115,6 +118,7 @@ fn main() {
         max_retries: 0,
         start_paused: false,
         trace,
+        ..ServiceConfig::with_workers(workers)
     });
     let t0 = Instant::now();
     let tickets: Vec<_> = specs

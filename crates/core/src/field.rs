@@ -20,7 +20,7 @@ use crate::tree::{batch::Batch, SourceTree};
 
 /// Potentials and their gradients at every target, in original target
 /// order. The force on charge `q_i` is `-q_i · (gx, gy, gz)[i]`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FieldResult {
     /// Potentials `φ(x_i)`.
     pub potentials: Vec<f64>,

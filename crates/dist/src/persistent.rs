@@ -363,6 +363,31 @@ impl FieldSession {
         self.session.tracing_enabled()
     }
 
+    /// Attach (or detach) a deterministic fault timeline on the
+    /// underlying world (see [`mpi_sim::Session::set_chaos`]). Every
+    /// epoch this session runs — evaluation, migration, snapshot —
+    /// passes through the schedule's injection points.
+    pub fn set_chaos(&self, schedule: Option<std::sync::Arc<mpi_sim::ChaosSchedule>>) {
+        self.session.set_chaos(schedule);
+    }
+
+    /// The attached fault timeline, if any.
+    pub fn chaos(&self) -> Option<std::sync::Arc<mpi_sim::ChaosSchedule>> {
+        self.session.chaos()
+    }
+
+    /// Arm (or disarm) the epoch watchdog on the underlying session
+    /// (see [`mpi_sim::Session::set_deadline`]): a rank that never
+    /// reports becomes a poisoned world instead of a hung driver.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Duration>) {
+        self.session.set_deadline(deadline);
+    }
+
+    /// How many times the epoch watchdog has fired on this session.
+    pub fn watchdog_fires(&self) -> u64 {
+        self.session.watchdog_fires()
+    }
+
     /// Tear down the driver-side state and hand the live world back —
     /// the return half of warm-world reuse. The resident slots are
     /// dropped; the rank threads stay up for the next

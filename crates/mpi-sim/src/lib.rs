@@ -78,6 +78,7 @@
 //! assert_eq!(out.results[0], 0.0 + 1.0 + 2.0 + 3.0);
 //! ```
 
+pub mod chaos;
 pub mod comm;
 pub mod netmodel;
 pub mod pool;
@@ -85,6 +86,7 @@ pub mod rma;
 pub mod runtime;
 pub mod session;
 
+pub use chaos::{ChaosEvent, ChaosSchedule, FaultKind, FaultSpec, HangReleased};
 pub use comm::Comm;
 pub use netmodel::NetworkSpec;
 pub use pool::{PoolStats, SessionPool};

@@ -17,7 +17,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar};
 
 use bltc_trace::Span;
@@ -421,6 +421,15 @@ pub(crate) struct World {
     pub(crate) rendezvous: Mutex<HashMap<u64, RendezvousSlots>>,
     pub(crate) traffic: Mutex<TrafficMatrix>,
     pub(crate) trace: TraceSink,
+    /// Attached fault timeline, if any (see [`crate::chaos`]). The fast
+    /// flag keeps the no-chaos hot path (every one-sided op) to a
+    /// single relaxed load.
+    pub(crate) chaos: Mutex<Option<Arc<crate::chaos::ChaosSchedule>>>,
+    pub(crate) chaos_attached: AtomicBool,
+    /// Index of the epoch currently executing — stored by the session
+    /// driver before submission (the session is fully synchronous, so
+    /// no rank can still be inside an earlier epoch).
+    pub(crate) current_epoch: AtomicU64,
 }
 
 impl World {
@@ -431,14 +440,41 @@ impl World {
             rendezvous: Mutex::new(HashMap::new()),
             traffic: Mutex::new(TrafficMatrix::new(size)),
             trace: TraceSink::new(size),
+            chaos: Mutex::new(None),
+            chaos_attached: AtomicBool::new(false),
+            current_epoch: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn chaos_schedule(&self) -> Option<Arc<crate::chaos::ChaosSchedule>> {
+        if !self.chaos_attached.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.chaos.lock().clone()
+    }
+
+    /// Rank-side chaos injection at epoch entry; called inside the rank
+    /// loop's `catch_unwind` so an injected panic follows the ordinary
+    /// poison discipline. No-op without an attached schedule.
+    pub(crate) fn chaos_epoch_begin(&self, rank: usize) {
+        if let Some(chaos) = self.chaos_schedule() {
+            let epoch = self.current_epoch.load(Ordering::Relaxed);
+            chaos.at_epoch_begin(epoch, rank, &|| self.barrier.poisoned_by().is_some());
         }
     }
 
     pub(crate) fn record_traffic(&self, origin: usize, target: usize, bytes: u64) {
-        let mut t = self.traffic.lock();
-        let e = &mut t.entries[origin][target];
-        e.messages += 1;
-        e.bytes += bytes;
+        {
+            let mut t = self.traffic.lock();
+            let e = &mut t.entries[origin][target];
+            e.messages += 1;
+            e.bytes += bytes;
+        }
+        // Chaos transient-failure hook: charges modeled retry delay,
+        // never perturbs the matrix itself.
+        if let Some(chaos) = self.chaos_schedule() {
+            chaos.on_rma(origin);
+        }
     }
 
     /// Take the traffic recorded since the last drain, leaving zeros —

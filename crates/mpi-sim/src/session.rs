@@ -72,10 +72,13 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
+use crate::chaos::ChaosSchedule;
 use crate::comm::Comm;
 use crate::runtime::{TrafficMatrix, World};
 
@@ -112,6 +115,8 @@ pub struct Session {
     collect: Receiver<RankOutcome>,
     handles: Vec<JoinHandle<()>>,
     epochs: u64,
+    deadline: Option<Duration>,
+    watchdog_fires: u64,
 }
 
 impl Session {
@@ -146,8 +151,14 @@ impl Session {
                     while let Ok(job) = rx.recv() {
                         // The install guard is scoped to this one
                         // epoch; between epochs the rank thread holds
-                        // only the cloned pool handle.
-                        let out = catch_unwind(AssertUnwindSafe(|| pool.install(|| job(&comm))));
+                        // only the cloned pool handle. Chaos injection
+                        // happens at epoch entry, inside the unwind
+                        // boundary, so an injected panic poisons the
+                        // world exactly like an organic one.
+                        let out = catch_unwind(AssertUnwindSafe(|| {
+                            world.chaos_epoch_begin(rank);
+                            pool.install(|| job(&comm))
+                        }));
                         if out.is_err() {
                             world.barrier.poison(rank);
                         }
@@ -165,6 +176,8 @@ impl Session {
             collect,
             handles,
             epochs: 0,
+            deadline: None,
+            watchdog_fires: 0,
         }
     }
 
@@ -199,6 +212,54 @@ impl Session {
         self.world.trace.enabled()
     }
 
+    /// Attach (or detach) a deterministic fault timeline. Subsequent
+    /// epochs run through the schedule's injection points; `None`
+    /// restores the fault-free fast path. Like tracing, an attached
+    /// schedule whose faults never fire is bitwise invisible to
+    /// results, traffic, and every modeled clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule was built for a different world size.
+    pub fn set_chaos(&self, schedule: Option<Arc<ChaosSchedule>>) {
+        if let Some(s) = &schedule {
+            assert_eq!(
+                s.ranks(),
+                self.size(),
+                "chaos schedule built for {} ranks attached to a {}-rank session",
+                s.ranks(),
+                self.size()
+            );
+        }
+        let attached = schedule.is_some();
+        *self.world.chaos.lock() = schedule;
+        self.world.chaos_attached.store(attached, Ordering::Relaxed);
+    }
+
+    /// The currently attached fault timeline, if any.
+    pub fn chaos(&self) -> Option<Arc<ChaosSchedule>> {
+        self.world.chaos_schedule()
+    }
+
+    /// Arm (or disarm) the epoch watchdog: if any rank fails to report
+    /// an epoch outcome within `deadline` of the previous report, the
+    /// driver poisons the world on the first missing rank and releases
+    /// any chaos-parked hangs instead of blocking forever — converting
+    /// a hung rank into the ordinary poisoned-world error path.
+    ///
+    /// This is a *wall-clock* bound on the simulated cluster's host
+    /// threads, so it must comfortably exceed any legitimate epoch;
+    /// the outcome (which rank is blamed, what error surfaces) stays
+    /// deterministic even though the firing time is not.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// How many times the epoch watchdog has fired on this session.
+    pub fn watchdog_fires(&self) -> u64 {
+        self.watchdog_fires
+    }
+
     /// Submit one epoch: every rank runs `f` SPMD-style; blocks until
     /// all ranks return. The report carries the traffic recorded during
     /// this epoch only.
@@ -214,23 +275,72 @@ impl Session {
         F: Fn(&Comm) -> R + Send + Sync + 'static,
     {
         let job: EpochFn = Arc::new(move |comm| Box::new(f(comm)) as Box<dyn Any + Send>);
+        // Ranks read the epoch index at their chaos injection point;
+        // store-before-submit is race-free because collection below is
+        // fully synchronous.
+        self.world
+            .current_epoch
+            .store(self.epochs, Ordering::Relaxed);
         for tx in &self.submit {
             tx.send(Arc::clone(&job))
                 .expect("rank thread exited while session alive");
         }
         let mut slots: Vec<Option<std::thread::Result<Box<dyn Any + Send>>>> =
             (0..self.size()).map(|_| None).collect();
-        for _ in 0..self.size() {
-            let (rank, out) = self
-                .collect
-                .recv()
-                .expect("rank thread exited while session alive");
+        let mut collected = 0;
+        while collected < self.size() {
+            let outcome = match self.deadline {
+                None => self
+                    .collect
+                    .recv()
+                    .expect("rank thread exited while session alive"),
+                Some(deadline) => match self.collect.recv_timeout(deadline) {
+                    Ok(outcome) => outcome,
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Watchdog: poison the world so barrier-parked
+                        // peers fail fast, and release any chaos-parked
+                        // hangs so every rank (including the hung one)
+                        // reports; collection then completes normally.
+                        // Blame the scheduled hang's rank when there is
+                        // one — the peers missing alongside it are just
+                        // waiting on a collective — else the first rank
+                        // that has not reported.
+                        let chaos = self.world.chaos_schedule();
+                        let blamed = chaos
+                            .as_deref()
+                            .and_then(|c| {
+                                c.faults().iter().find_map(|f| {
+                                    (matches!(f.kind, crate::chaos::FaultKind::Hang)
+                                        && f.epoch == self.epochs
+                                        && slots[f.rank].is_none())
+                                    .then_some(f.rank)
+                                })
+                            })
+                            .or_else(|| slots.iter().position(|s| s.is_none()))
+                            .expect("timeout with all ranks collected");
+                        self.watchdog_fires += 1;
+                        self.world.barrier.poison(blamed);
+                        if let Some(chaos) = chaos {
+                            chaos.release_hangs();
+                        }
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        panic!("rank thread exited while session alive")
+                    }
+                },
+            };
+            let (rank, out) = outcome;
             slots[rank] = Some(out);
+            collected += 1;
         }
         let epoch = self.epochs;
         self.epochs += 1;
         let traffic = self.world.drain_traffic();
         let spans = self.world.trace.drain();
+        if let Some(chaos) = self.world.chaos_schedule() {
+            chaos.at_epoch_end(epoch, &traffic);
+        }
 
         // Re-raise the first poisoner's payload, as run_spmd does. In a
         // *later* epoch of an already-poisoned session the original
@@ -516,6 +626,115 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_rank_session_rejected() {
         let _ = Session::spawn(0);
+    }
+
+    #[test]
+    fn chaos_panic_fires_at_its_epoch_and_poisons() {
+        use crate::chaos::{ChaosSchedule, FaultKind, FaultSpec};
+        let mut s = Session::spawn(2);
+        s.set_chaos(Some(ChaosSchedule::new(
+            vec![FaultSpec {
+                epoch: 1,
+                rank: 1,
+                kind: FaultKind::Panic,
+                once: true,
+            }],
+            2,
+        )));
+        // Epoch 0: no fault scheduled — runs clean.
+        let e0 = s.run_epoch(|comm| comm.all_reduce_sum(1.0));
+        assert_eq!(e0.results, vec![2.0, 2.0]);
+        // Epoch 1: rank 1 panics at entry; the driver sees the payload.
+        let out = catch_unwind(AssertUnwindSafe(|| s.run_epoch(|comm| comm.barrier())));
+        let payload = out.expect_err("injected panic must surface");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("injected panic on rank 1"), "got: {msg}");
+        assert!(s.is_poisoned());
+        let events = s.chaos().expect("still attached").drain_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!((events[0].epoch, events[0].rank), (1, 1));
+    }
+
+    #[test]
+    fn watchdog_converts_hang_into_poison() {
+        use crate::chaos::{ChaosSchedule, FaultKind, FaultSpec, HangReleased};
+        let mut s = Session::spawn(3);
+        s.set_chaos(Some(ChaosSchedule::new(
+            vec![FaultSpec {
+                epoch: 0,
+                rank: 2,
+                kind: FaultKind::Hang,
+                once: true,
+            }],
+            3,
+        )));
+        s.set_deadline(Some(Duration::from_millis(100)));
+        let out = catch_unwind(AssertUnwindSafe(|| s.run_epoch(|comm| comm.barrier())));
+        let payload = out.expect_err("hang must resolve into an error, not a deadlock");
+        let hr = payload
+            .downcast_ref::<HangReleased>()
+            .expect("typed watchdog payload");
+        assert_eq!((hr.rank, hr.epoch), (2, 0));
+        assert!(s.is_poisoned());
+        assert_eq!(s.watchdog_fires(), 1);
+        // Teardown must not hang either: dropping `s` joins all ranks.
+    }
+
+    #[test]
+    fn observational_faults_change_nothing_but_events() {
+        use crate::chaos::{ChaosSchedule, FaultKind, FaultSpec};
+        let run = |chaos: bool| {
+            let s = Session::spawn(2);
+            if chaos {
+                s.set_chaos(Some(ChaosSchedule::new(
+                    vec![
+                        FaultSpec {
+                            epoch: 0,
+                            rank: 0,
+                            kind: FaultKind::Transient {
+                                ops: 1,
+                                delay_s: 0.5,
+                            },
+                            once: true,
+                        },
+                        FaultSpec {
+                            epoch: 0,
+                            rank: 1,
+                            kind: FaultKind::Straggler { delay_s: 0.25 },
+                            once: true,
+                        },
+                    ],
+                    2,
+                )));
+            }
+            let mut s = s;
+            let er = s.run_epoch(|comm| {
+                let win = comm.create_window(vec![comm.rank() as f64; 4]);
+                let nbr = (comm.rank() + 1) % comm.size();
+                let v = win.lock_shared(nbr).get(0..4)[0];
+                comm.barrier();
+                v
+            });
+            (er.results, er.traffic, s)
+        };
+        let (clean_results, clean_traffic, _s) = run(false);
+        let (results, traffic, s) = run(true);
+        assert_eq!(results, clean_results, "delay faults must not touch data");
+        assert_eq!(
+            traffic, clean_traffic,
+            "delay faults must not touch traffic"
+        );
+        let events = s.chaos().unwrap().drain_events();
+        // Rank-major: rank 0's transient retry, then rank 1's straggler.
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            (events[0].label, events[0].delay_s),
+            ("transient-retry", 0.5)
+        );
+        assert_eq!((events[1].label, events[1].delay_s), ("straggler", 0.25));
     }
 
     #[test]

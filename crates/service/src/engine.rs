@@ -34,11 +34,12 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use bltc_core::field::FieldResult;
-use bltc_sim::{ForceModel, PersistentIntegrator, SimReport, SimState, WorldReuse};
+use bltc_sim::{Checkpoint, ForceModel, PersistentIntegrator, SimReport, SimState, WorldReuse};
 use bltc_trace::{sort_spans, Phase, Span, TraceRecorder, Track};
-use mpi_sim::{PoolStats, Session, SessionPool};
+use mpi_sim::{ChaosSchedule, FaultKind, FaultSpec, HangReleased, PoolStats, Session, SessionPool};
 use rcb::RcbPartition;
 
 use crate::digest::{field_digest, state_digest};
@@ -76,6 +77,17 @@ pub struct ServiceConfig {
     /// shutdown. Purely observational — results, digests, reports, and
     /// meters are bitwise identical either way (`tests/trace.rs`).
     pub trace: bool,
+    /// Base of the deterministic exponential backoff charged between
+    /// retry attempts: attempt `k`'s retry waits a **modeled**
+    /// `backoff_base_s · 2^(k-1)` seconds. Pure accounting against the
+    /// job's deadline budget — never wall-clock sleep, never part of
+    /// the job's report.
+    pub backoff_base_s: f64,
+    /// Wall-clock budget an epoch may stay unreported before the
+    /// watchdog converts the hung rank into a poisoned world (armed
+    /// only for jobs carrying [`Fault::HangAtStep`] — a healthy epoch
+    /// never races a timer).
+    pub epoch_watchdog: Duration,
 }
 
 impl ServiceConfig {
@@ -88,6 +100,8 @@ impl ServiceConfig {
             max_retries: 1,
             start_paused: false,
             trace: false,
+            backoff_base_s: 1e-3,
+            epoch_watchdog: Duration::from_millis(250),
         }
     }
 }
@@ -138,6 +152,53 @@ impl std::fmt::Display for RejectReason {
     }
 }
 
+/// How a completed job was ultimately served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobOutcome {
+    /// Served at the submitted world size (possibly after clean
+    /// retries or checkpoint restores — see [`JobOutput::recovery`]).
+    #[default]
+    Completed,
+    /// Permanent rank loss exhausted the retry budget and the spec
+    /// allowed degradation: the job was re-admitted onto a world
+    /// `ranks_lost` ranks smaller (fresh RCB over surviving capacity)
+    /// and finished there. The bits equal the same spec run solo at
+    /// the smaller world size.
+    Degraded {
+        /// Ranks given up relative to the submitted spec.
+        ranks_lost: usize,
+    },
+}
+
+/// Recovery overhead one job accumulated across its attempts — the
+/// side channel that keeps lost worlds and modeled retry waits metered
+/// ([`TenantMeter::charge_recovery`]) without ever touching the job's
+/// [`SimReport`] (recovered bits stay identical to unfaulted bits).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecoveryCharge {
+    /// Worlds consumed outside the final report: cold spawns of
+    /// panicked attempts that left no checkpoint, plus respawns for
+    /// checkpoint restores.
+    pub lost_spawns: u64,
+    /// Modeled host seconds of those spawns.
+    pub lost_spawn_host_s: f64,
+    /// Total modeled exponential backoff charged between attempts.
+    pub backoff_s: f64,
+    /// Attempts that resumed from a driver-held checkpoint.
+    pub recoveries: u32,
+}
+
+impl RecoveryCharge {
+    /// Fold another job phase's charges in (used when a degraded rerun
+    /// inherits the failed full-world attempts' accounting).
+    fn merge(&mut self, other: &RecoveryCharge) {
+        self.lost_spawns += other.lost_spawns;
+        self.lost_spawn_host_s += other.lost_spawn_host_s;
+        self.backoff_s += other.backoff_s;
+        self.recoveries += other.recoveries;
+    }
+}
+
 /// Everything a completed job returns to its tenant.
 #[derive(Debug, Clone)]
 pub struct JobOutput {
@@ -158,6 +219,10 @@ pub struct JobOutput {
     pub world_reused: bool,
     /// Failed attempts before the successful one.
     pub retries: u32,
+    /// How the job was ultimately served (full world or degraded).
+    pub outcome: JobOutcome,
+    /// Recovery overhead accumulated across all attempts.
+    pub recovery: RecoveryCharge,
     /// FNV-1a digest of `final_state` (see [`crate::state_digest`]).
     pub state_digest: u64,
     /// FNV-1a digest of `field` (see [`crate::field_digest`]).
@@ -171,12 +236,14 @@ pub struct JobOutput {
 
 /// Permanent job failure. The taxonomy is deliberately small: invalid
 /// specs never reach a worker (they are [`RejectReason::Invalid`] at
-/// the door), so the only way a job dies is its world panicking more
-/// times than the retry budget allows.
+/// the door), so a job dies either by its world panicking more times
+/// than the retry budget allows, or by blowing its modeled deadline
+/// budget on the way to an answer.
 #[derive(Debug, Clone)]
 pub enum JobError {
-    /// Every attempt panicked; the job's worlds were discarded and its
-    /// failure never left this tenant.
+    /// Every attempt panicked (a hung rank counts: the epoch watchdog
+    /// converts it into a poisoned world); the job's worlds were
+    /// discarded and its failure never left this tenant.
     Panicked {
         /// The id [`SimService::submit`] assigned.
         job_id: u64,
@@ -186,6 +253,26 @@ pub enum JobError {
         attempts: u32,
         /// The panic payload of the final attempt.
         message: String,
+        /// Recovery overhead the failed attempts accumulated — still
+        /// charged to the tenant's meter.
+        recovery: RecoveryCharge,
+    },
+    /// The bits were computed, but the modeled spend (final report
+    /// clock + retry backoff + lost-attempt spawn time) exceeded the
+    /// spec's [`crate::JobSpec::deadline_s`].
+    DeadlineExceeded {
+        /// The id [`SimService::submit`] assigned.
+        job_id: u64,
+        /// The submitting tenant.
+        tenant: TenantId,
+        /// Attempts made to get the answer.
+        attempts: u32,
+        /// Modeled seconds actually spent.
+        spent_s: f64,
+        /// The budget that was exceeded.
+        deadline_s: f64,
+        /// Recovery overhead accumulated — still charged to the meter.
+        recovery: RecoveryCharge,
     },
 }
 
@@ -197,9 +284,22 @@ impl std::fmt::Display for JobError {
                 tenant,
                 attempts,
                 message,
+                ..
             } => write!(
                 f,
                 "job {job_id} (tenant {tenant}) panicked on all {attempts} attempts: {message}"
+            ),
+            JobError::DeadlineExceeded {
+                job_id,
+                tenant,
+                attempts,
+                spent_s,
+                deadline_s,
+                ..
+            } => write!(
+                f,
+                "job {job_id} (tenant {tenant}) blew its deadline: spent {spent_s}s modeled \
+                 across {attempts} attempts against a budget of {deadline_s}s"
             ),
         }
     }
@@ -577,16 +677,43 @@ fn worker_loop(shared: &Shared) {
             let mut meters = shared.meters.lock().unwrap();
             let meter = meters.entry(job.tenant).or_default();
             match &result {
-                Ok(out) => meter.absorb(
-                    &out.report,
-                    out.world_reused,
-                    out.cache_hit,
-                    out.retries,
-                    job.queue_pos,
-                ),
-                Err(JobError::Panicked { attempts, .. }) => {
+                Ok(out) => {
+                    meter.absorb(
+                        &out.report,
+                        out.world_reused,
+                        out.cache_hit,
+                        out.retries,
+                        job.queue_pos,
+                    );
+                    meter.charge_recovery(
+                        out.recovery.lost_spawns,
+                        out.recovery.lost_spawn_host_s,
+                        out.recovery.backoff_s,
+                        out.recovery.recoveries,
+                    );
+                    if matches!(out.outcome, JobOutcome::Degraded { .. }) {
+                        meter.degraded_jobs += 1;
+                    }
+                }
+                Err(
+                    JobError::Panicked {
+                        attempts, recovery, ..
+                    }
+                    | JobError::DeadlineExceeded {
+                        attempts, recovery, ..
+                    },
+                ) => {
                     meter.jobs_failed += 1;
-                    meter.retries += (attempts - 1) as u64;
+                    meter.retries += attempts.saturating_sub(1) as u64;
+                    // A panicked attempt's world spawn is still the
+                    // tenant's spend — the dying report hid it, the
+                    // recovery side channel does not.
+                    meter.charge_recovery(
+                        recovery.lost_spawns,
+                        recovery.lost_spawn_host_s,
+                        recovery.backoff_s,
+                        recovery.recoveries,
+                    );
                 }
             }
         }
@@ -613,26 +740,133 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Execute one job: prepare (cache), check a warm world out, run the
-/// integrator, check the world back in — retrying on a fresh world
-/// when an attempt panics, up to the budget.
+/// Execute one job end to end: run it resiliently at the submitted
+/// world size, fall back to a degraded smaller world on permanent rank
+/// loss when the spec allows it, then enforce the modeled deadline
+/// budget on whatever came out.
 fn run_job(shared: &Shared, job: &QueuedJob) -> Result<JobOutput, JobError> {
     let spec = job.spec;
     let (prep, cache_hit) = shared.cache.lock().unwrap().get_or_build(&spec);
+    let out = run_resilient(shared, job, &spec, &prep, cache_hit, JobOutcome::Completed);
+    let out = match out {
+        Ok(out) => Ok(out),
+        Err(JobError::Panicked {
+            attempts, recovery, ..
+        }) if matches!(spec.fault, Fault::RankLossAtStep(_))
+            && spec.allow_degraded
+            && spec.ranks > 1 =>
+        {
+            // Graceful degradation: the submitted world size cannot
+            // survive the rank loss, so re-admit onto one rank fewer
+            // with a fresh RCB over the surviving capacity. The fault
+            // is dropped (the lost rank is simply not part of the new
+            // world) and any full-world checkpoint is useless — the
+            // degraded run restarts from step zero and must equal the
+            // same spec run solo at the smaller size.
+            let mut degraded = spec;
+            degraded.ranks -= 1;
+            degraded.fault = Fault::None;
+            degraded.checkpoint_every = None;
+            let (dprep, dcache_hit) = shared.cache.lock().unwrap().get_or_build(&degraded);
+            run_resilient(
+                shared,
+                job,
+                &degraded,
+                &dprep,
+                dcache_hit,
+                JobOutcome::Degraded { ranks_lost: 1 },
+            )
+            .map(|mut out| {
+                // The failed full-world attempts stay on the bill.
+                out.retries += attempts;
+                out.recovery.merge(&recovery);
+                out
+            })
+            .map_err(|err| err.merged_with(attempts, &recovery))
+        }
+        Err(err) => Err(err),
+    }?;
+    if let Some(deadline) = spec.deadline_s {
+        let spent = out.report.total_s + out.recovery.backoff_s + out.recovery.lost_spawn_host_s;
+        if spent > deadline {
+            return Err(JobError::DeadlineExceeded {
+                job_id: job.job_id,
+                tenant: job.tenant,
+                attempts: out.retries + 1,
+                spent_s: spent,
+                deadline_s: deadline,
+                recovery: out.recovery,
+            });
+        }
+    }
+    Ok(out)
+}
 
+impl JobError {
+    /// Fold an earlier phase's attempt count and recovery charges into
+    /// this error (degraded rerun failing after full-world attempts).
+    fn merged_with(mut self, extra_attempts: u32, extra: &RecoveryCharge) -> Self {
+        match &mut self {
+            JobError::Panicked {
+                attempts, recovery, ..
+            }
+            | JobError::DeadlineExceeded {
+                attempts, recovery, ..
+            } => {
+                *attempts += extra_attempts;
+                recovery.merge(extra);
+            }
+        }
+        self
+    }
+}
+
+/// Run one spec to completion at its submitted world size: check a
+/// warm world out, run the integrator, check the world back in —
+/// retrying when an attempt panics, up to the budget. Retries restore
+/// the latest driver-held checkpoint when the spec keeps one,
+/// otherwise restart from scratch; either way the surviving bits are
+/// identical to the fault-free run's.
+fn run_resilient(
+    shared: &Shared,
+    job: &QueuedJob,
+    spec: &JobSpec,
+    prep: &Prepared,
+    cache_hit: bool,
+    outcome: JobOutcome,
+) -> Result<JobOutput, JobError> {
     let mut attempts = 0u32;
+    let mut checkpoint: Option<Checkpoint> = None;
+    let mut recovery = RecoveryCharge::default();
     loop {
         attempts += 1;
         let fault_step = match spec.fault {
-            Fault::None => None,
-            Fault::PanicAtStep(s) => Some(s),
+            Fault::None | Fault::HangAtStep(_) => None,
+            Fault::PanicAtStep(s) | Fault::RankLossAtStep(s) => Some(s),
             Fault::PanicOnceAtStep(s) => (attempts == 1).then_some(s),
+        };
+        let hang_step = match spec.fault {
+            Fault::HangAtStep(s) => (attempts == 1).then_some(s),
+            _ => None,
         };
         // Reuse-only checkout: on a miss the integrator spawns (and
         // charges) the fresh world itself, exactly as a solo run
         // would — keeping the job's report bitwise identical to solo.
         let session = shared.pool.try_checkout(spec.ranks);
         let world_reused = session.is_some();
+        // A restore's replacement world never reaches the job's report
+        // (the report continues from the checkpoint untouched), so its
+        // spawn is charged here, up front — the charge must survive
+        // even if this attempt dies too.
+        let restoring = checkpoint.is_some();
+        if restoring {
+            recovery.recoveries += 1;
+            if !world_reused {
+                recovery.lost_spawns += 1;
+                recovery.lost_spawn_host_s +=
+                    spec.dist.host.world_spawn_seconds(spec.n, spec.ranks);
+            }
+        }
         // One recorder per attempt: a panicked attempt's spans die with
         // its world, so the surviving trace describes exactly the run
         // that produced the returned bits.
@@ -640,8 +874,19 @@ fn run_job(shared: &Shared, job: &QueuedJob) -> Result<JobOutput, JobError> {
             .cfg
             .trace
             .then(|| Arc::new(TraceRecorder::for_job(job.tenant, job.job_id)));
+        let resume = checkpoint.clone();
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            run_attempt(&spec, &prep, session, fault_step, tracer.clone())
+            run_attempt(
+                spec,
+                prep,
+                session,
+                resume,
+                &mut checkpoint,
+                fault_step,
+                hang_step,
+                shared.cfg.epoch_watchdog,
+                tracer.clone(),
+            )
         }));
         match attempt {
             Ok((final_state, field, report, session)) => {
@@ -674,21 +919,36 @@ fn run_job(shared: &Shared, job: &QueuedJob) -> Result<JobOutput, JobError> {
                     cache_hit,
                     world_reused,
                     retries: attempts - 1,
+                    outcome,
+                    recovery,
                     trace_spans,
                 });
             }
             Err(payload) => {
+                // A scratch attempt that died without leaving a
+                // checkpoint takes its whole report down with it —
+                // including the cold spawn it charged — so the spawn
+                // moves to the recovery side channel. (With a
+                // checkpoint, the spawn lives on in the checkpoint's
+                // report and reaches the final bill through restore.)
+                if !restoring && checkpoint.is_none() && !world_reused {
+                    recovery.lost_spawns += 1;
+                    recovery.lost_spawn_host_s +=
+                        spec.dist.host.world_spawn_seconds(spec.n, spec.ranks);
+                }
                 if attempts > shared.cfg.max_retries {
                     return Err(JobError::Panicked {
                         job_id: job.job_id,
                         tenant: job.tenant,
                         attempts,
                         message: panic_message(payload.as_ref()),
+                        recovery,
                     });
                 }
-                // Retry from scratch on a fresh world: the preparation
-                // is immutable, so a clean retry reproduces the
-                // fault-free bits exactly.
+                // Deterministic exponential backoff before the retry —
+                // modeled seconds against the deadline budget, not a
+                // wall-clock sleep.
+                recovery.backoff_s += shared.cfg.backoff_base_s * 2f64.powi((attempts - 1) as i32);
             }
         }
     }
@@ -697,24 +957,45 @@ fn run_job(shared: &Shared, job: &QueuedJob) -> Result<JobOutput, JobError> {
 /// One attempt on one world. Returns the world for re-pooling; a panic
 /// anywhere in here unwinds through the integrator, dropping the
 /// poisoned world (its rank threads join) without touching the pool.
+/// Checkpoints taken on the spec's cadence land in `ck_sink`, which
+/// outlives the attempt — that is what a retry restores.
+#[allow(clippy::too_many_arguments)]
 fn run_attempt(
     spec: &JobSpec,
     prep: &Prepared,
     session: Option<Session>,
+    resume: Option<Checkpoint>,
+    ck_sink: &mut Option<Checkpoint>,
     fault_step: Option<u64>,
+    hang_step: Option<u64>,
+    watchdog: Duration,
     tracer: Option<Arc<TraceRecorder>>,
 ) -> (SimState, FieldResult, SimReport, Session) {
-    let mut integ = PersistentIntegrator::with_world(
-        spec.sim_config(),
-        &prep.state,
-        &prep.model,
-        WorldReuse {
-            session,
-            partition: Some(prep.part.clone()),
-        },
-    );
+    let (mut integ, start) = match resume {
+        Some(ck) => {
+            // Restore skips the launch evaluation entirely — the
+            // checkpoint carries accelerations — and the report
+            // continues from the checkpoint, so the recovered run's
+            // bits and clocks equal the unfaulted run's.
+            let (integ, _respawn_charged_by_caller) =
+                PersistentIntegrator::restore(spec.sim_config(), &prep.model, &ck, session);
+            (integ, ck.step())
+        }
+        None => (
+            PersistentIntegrator::with_world(
+                spec.sim_config(),
+                &prep.state,
+                &prep.model,
+                WorldReuse {
+                    session,
+                    partition: Some(prep.part.clone()),
+                },
+            ),
+            0,
+        ),
+    };
     integ.set_tracer(tracer);
-    for step in 1..=spec.steps {
+    for step in (start + 1)..=spec.steps {
         if fault_step == Some(step) {
             // The injected tenant bug: one rank dies mid-collective.
             // The poison machinery fails the peers' next collective
@@ -726,7 +1007,34 @@ fn run_attempt(
                 comm.barrier();
             });
         }
+        if hang_step == Some(step) {
+            // The injected infrastructure fault: one rank parks inside
+            // its epoch and never reports. The watchdog deadline
+            // converts the hang into a poisoned world, so the driver
+            // unwinds with [`HangReleased`] instead of deadlocking.
+            let schedule = ChaosSchedule::new(
+                vec![FaultSpec {
+                    epoch: integ.epochs_run(),
+                    rank: 0,
+                    kind: FaultKind::Hang,
+                    once: true,
+                }],
+                spec.ranks,
+            );
+            let fs = integ.field_session();
+            fs.set_chaos(Some(schedule));
+            fs.set_deadline(Some(watchdog));
+            fs.run_epoch(|comm, _slot| comm.barrier());
+            unreachable!("the epoch watchdog must poison the hung world");
+        }
         integ.step();
+        if let Some(every) = spec.checkpoint_every {
+            // No point checkpointing the final state we are about to
+            // return. The snapshot epoch is bitwise invisible.
+            if step % every == 0 && step < spec.steps {
+                *ck_sink = Some(integ.checkpoint());
+            }
+        }
     }
     let field = integ.last_field();
     let final_state = integ.snapshot();
@@ -734,14 +1042,30 @@ fn run_attempt(
     (final_state, field, report, integ.into_session())
 }
 
+/// Classify a panic payload for [`JobError::Panicked`]. Strings pass
+/// through; the watchdog's typed [`HangReleased`] payload renders its
+/// message; any other payload is probed against the primitive types a
+/// `panic_any` plausibly carries so the error at least names the type
+/// (stable Rust cannot recover a type name from `dyn Any` directly).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+        return (*s).to_string();
     }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    if let Some(h) = payload.downcast_ref::<HangReleased>() {
+        return h.to_string();
+    }
+    macro_rules! probe {
+        ($($ty:ty),*) => {
+            $(if payload.is::<$ty>() {
+                return format!("non-string panic payload of type {}", stringify!($ty));
+            })*
+        };
+    }
+    probe!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, f32, f64, bool, char);
+    "non-string panic payload".to_string()
 }
 
 #[cfg(test)]
@@ -765,6 +1089,9 @@ mod tests {
             repartition_every: 2,
             dist: DistConfig::comet(BltcParams::new(0.8, 3, 40, 40)),
             fault: Fault::None,
+            checkpoint_every: None,
+            deadline_s: None,
+            allow_degraded: false,
         }
     }
 
@@ -823,7 +1150,7 @@ mod tests {
             cache_capacity: 4,
             max_retries: 0,
             start_paused: true,
-            trace: false,
+            ..ServiceConfig::with_workers(2)
         };
         let svc = SimService::start(cfg);
         let s = spec(60, 1, 2, 1);
@@ -898,5 +1225,31 @@ mod tests {
         let t = svc.submit(1, spec(60, 1, 2, 1)).expect("admitted");
         drop(svc);
         t.wait().expect("drop drains gracefully");
+    }
+
+    #[test]
+    fn non_string_panic_payloads_name_their_type() {
+        fn classify(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+            let payload = std::panic::catch_unwind(f).unwrap_err();
+            panic_message(payload.as_ref())
+        }
+        assert_eq!(classify(|| panic!("plain &str")), "plain &str");
+        assert_eq!(classify(|| panic!("formatted {}", 7)), "formatted 7");
+        assert_eq!(
+            classify(|| std::panic::panic_any(42i32)),
+            "non-string panic payload of type i32"
+        );
+        assert_eq!(
+            classify(|| std::panic::panic_any(2.5f64)),
+            "non-string panic payload of type f64"
+        );
+        assert_eq!(
+            classify(|| std::panic::panic_any(true)),
+            "non-string panic payload of type bool"
+        );
+        assert_eq!(
+            classify(|| std::panic::panic_any(vec![1u8])),
+            "non-string panic payload"
+        );
     }
 }

@@ -55,6 +55,9 @@
 //!     repartition_every: 2,
 //!     dist: DistConfig::comet(BltcParams::new(0.8, 3, 40, 40)),
 //!     fault: Fault::None,
+//!     checkpoint_every: None,
+//!     deadline_s: None,
+//!     allow_degraded: false,
 //! };
 //! let first = svc.submit(1, spec).expect("admitted").wait().expect("ran");
 //! let again = svc.submit(2, spec).expect("admitted").wait().expect("ran");
@@ -73,8 +76,8 @@ pub mod spec;
 
 pub use digest::{field_digest, fnv1a, state_digest};
 pub use engine::{
-    Admission, JobError, JobOutput, JobTicket, RejectReason, ServiceConfig, ServiceStats,
-    SimService, TenantId,
+    Admission, JobError, JobOutcome, JobOutput, JobTicket, RecoveryCharge, RejectReason,
+    ServiceConfig, ServiceStats, SimService, TenantId,
 };
 pub use meter::TenantMeter;
 pub use spec::{Fault, JobSpec, KernelSpec, Scenario};

@@ -52,8 +52,14 @@ pub struct TenantMeter {
     pub device_seconds: f64,
     /// Modeled end-to-end seconds (host + communication + device).
     pub modeled_seconds: f64,
-    /// SPMD worlds spawned for this tenant (cold checkouts).
+    /// SPMD worlds spawned for this tenant — cold checkouts of
+    /// successful attempts **plus** the worlds consumed by panicked
+    /// attempts and checkpoint restores ([`TenantMeter::charge_recovery`]):
+    /// a lost world is still a world the tenant caused to spawn.
     pub world_spawns: u64,
+    /// Modeled host seconds spent spawning those worlds (same coverage
+    /// as `world_spawns`).
+    pub spawn_host_s: f64,
     /// Jobs served on a recycled warm world.
     pub world_reuses: u64,
     /// Jobs whose preparation came from the cache.
@@ -62,6 +68,16 @@ pub struct TenantMeter {
     pub cache_misses: u64,
     /// Attempts beyond the first across all jobs.
     pub retries: u64,
+    /// Attempts that resumed from a driver-held checkpoint instead of
+    /// restarting from scratch.
+    pub recoveries: u64,
+    /// Modeled seconds of recovery overhead: exponential retry backoff
+    /// plus lost-attempt/restore spawn time. Never part of any job's
+    /// report — recovery overhead is metered, not folded into results.
+    pub recovery_s: f64,
+    /// Jobs that finished on a smaller world after permanent rank loss
+    /// ([`crate::JobOutcome::Degraded`]).
+    pub degraded_jobs: u64,
     /// Distribution of modeled end-to-end seconds per completed job.
     pub job_latency: Histogram,
     /// Distribution of queue depth at admission per completed job
@@ -85,10 +101,14 @@ impl Default for TenantMeter {
             device_seconds: 0.0,
             modeled_seconds: 0.0,
             world_spawns: 0,
+            spawn_host_s: 0.0,
             world_reuses: 0,
             cache_hits: 0,
             cache_misses: 0,
             retries: 0,
+            recoveries: 0,
+            recovery_s: 0.0,
+            degraded_jobs: 0,
             job_latency: Histogram::new(&LATENCY_BOUNDS),
             queue_wait: Histogram::new(&QUEUE_BOUNDS),
         }
@@ -119,6 +139,7 @@ impl TenantMeter {
         self.device_seconds += report.compute_s;
         self.modeled_seconds += report.total_s;
         self.world_spawns += report.world_spawns;
+        self.spawn_host_s += report.spawn_host_s;
         if world_reused {
             self.world_reuses += 1;
         }
@@ -130,6 +151,25 @@ impl TenantMeter {
         self.retries += retries as u64;
         self.job_latency.record(report.total_s);
         self.queue_wait.record(queue_pos as f64);
+    }
+
+    /// Charge the recovery overhead of one job, successful or not:
+    /// worlds consumed by panicked attempts or checkpoint restores
+    /// (`lost_spawns` worlds, `lost_spawn_host_s` modeled seconds —
+    /// spawns a panicked attempt's dying report would otherwise hide),
+    /// the deterministic exponential retry backoff, and how many
+    /// attempts resumed from a checkpoint.
+    pub fn charge_recovery(
+        &mut self,
+        lost_spawns: u64,
+        lost_spawn_host_s: f64,
+        backoff_s: f64,
+        recoveries: u32,
+    ) {
+        self.world_spawns += lost_spawns;
+        self.spawn_host_s += lost_spawn_host_s;
+        self.recovery_s += backoff_s + lost_spawn_host_s;
+        self.recoveries += recoveries as u64;
     }
 
     /// Render this meter as a deterministic [`MetricsSnapshot`]:
@@ -157,8 +197,12 @@ impl TenantMeter {
             .counter("cache_hits", self.cache_hits)
             .counter("cache_misses", self.cache_misses)
             .counter("retries", self.retries)
+            .counter("recoveries", self.recoveries)
+            .counter("degraded_jobs", self.degraded_jobs)
             .gauge("device_seconds", self.device_seconds)
             .gauge("modeled_seconds", self.modeled_seconds)
+            .gauge("spawn_host_s", self.spawn_host_s)
+            .gauge("recovery_s", self.recovery_s)
             .gauge("jobs_per_world_spawn", amortization)
             .gauge("mean_job_latency_s", self.job_latency.mean())
             .histogram("job_latency_s", self.job_latency.clone())
@@ -195,6 +239,28 @@ mod tests {
         assert_eq!(m.queue_wait.count(), 2);
         assert_eq!(m.queue_wait.min(), Some(0.0));
         assert_eq!(m.queue_wait.max(), Some(3.0));
+    }
+
+    #[test]
+    fn recovery_charges_count_lost_worlds_and_backoff() {
+        let mut r = SimReport::starting(2, 0.0, 1, 0.5);
+        r.spawn_host_s = 0.25;
+        let mut m = TenantMeter::default();
+        m.absorb(&r, false, false, 1, 0);
+        // The successful attempt's spawn came through the report…
+        assert_eq!(m.world_spawns, 1);
+        assert_eq!(m.spawn_host_s, 0.25);
+        // …and the panicked attempt's lost world is charged on top.
+        m.charge_recovery(1, 0.25, 0.125, 1);
+        assert_eq!(m.world_spawns, 2);
+        assert_eq!(m.spawn_host_s, 0.5);
+        assert_eq!(m.recoveries, 1);
+        assert_eq!(m.recovery_s, 0.375);
+        let snap = m.snapshot();
+        let text = snap.render_text();
+        assert!(text.contains("counter world_spawns = 2"));
+        assert!(text.contains("counter recoveries = 1"));
+        assert!(text.contains("gauge recovery_s"));
     }
 
     #[test]

@@ -211,6 +211,18 @@ pub enum Fault {
     /// only — the retry runs clean on a fresh world and must reproduce
     /// the fault-free bits.
     PanicOnceAtStep(u64),
+    /// Hang a rank just before step `step` on the **first** attempt:
+    /// the injected rank parks inside its epoch and never reports. The
+    /// engine's epoch watchdog ([`crate::ServiceConfig::epoch_watchdog`])
+    /// converts the hang into a poisoned world, so the attempt fails
+    /// like a panic instead of deadlocking the worker; the retry runs
+    /// clean.
+    HangAtStep(u64),
+    /// Permanently lose a rank just before step `step` on **every**
+    /// attempt at the submitted world size — the job can only finish
+    /// degraded ([`JobSpec::allow_degraded`]) on a smaller world
+    /// re-partitioned over the surviving capacity.
+    RankLossAtStep(u64),
 }
 
 /// One tenant-submitted simulation job: scenario, size, seed,
@@ -236,6 +248,24 @@ pub struct JobSpec {
     pub dist: DistConfig,
     /// Injected fault, if any (test harness hook).
     pub fault: Fault,
+    /// Checkpoint cadence in steps: `Some(c)` serializes rank-resident
+    /// state into a driver-held [`bltc_sim::Checkpoint`] every `c`
+    /// steps, and a panicked attempt retries by **restoring** the
+    /// latest checkpoint onto a fresh world instead of restarting from
+    /// scratch. Checkpointing is bitwise invisible: the recovered bits
+    /// equal the fault-free run's.
+    pub checkpoint_every: Option<u64>,
+    /// Modeled deadline budget in seconds. The job's spend — final
+    /// report clock plus deterministic exponential retry backoff plus
+    /// lost-attempt spawn time — exceeding this fails the job as
+    /// [`crate::JobError::DeadlineExceeded`] even if the bits were
+    /// computed.
+    pub deadline_s: Option<f64>,
+    /// On permanent rank loss ([`Fault::RankLossAtStep`]) with the
+    /// retry budget exhausted, re-admit the job onto a world one rank
+    /// smaller (fresh RCB over surviving capacity) and finish as
+    /// [`crate::JobOutcome::Degraded`] instead of failing.
+    pub allow_degraded: bool,
 }
 
 impl JobSpec {
@@ -269,6 +299,14 @@ impl JobSpec {
         if p.degree < 1 || p.leaf_cap < 1 || p.batch_cap < 1 || p.max_depth < 1 {
             return Err("degree, leaf_cap, batch_cap, max_depth must all be at least 1".into());
         }
+        if self.checkpoint_every == Some(0) {
+            return Err("checkpoint cadence must be at least 1 step".into());
+        }
+        if let Some(d) = self.deadline_s {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(format!("deadline must be positive and finite, got {d}"));
+            }
+        }
         Ok(())
     }
 
@@ -285,7 +323,10 @@ impl JobSpec {
     /// The prepared-world cache key: everything that determines the
     /// *setup* — scenario construction and the initial RCB partition —
     /// but nothing about the integration budget (`steps`/`dt`/cadence
-    /// shape the run, not the preparation). `f64` fields format via
+    /// shape the run, not the preparation) or the resilience policy
+    /// (`fault`/`checkpoint_every`/`deadline_s`/`allow_degraded` — a
+    /// faulted job shares its preparation with the clean job it must
+    /// bitwise reproduce). `f64` fields format via
     /// `Debug` as their shortest round-trip decimal, so distinct bit
     /// patterns get distinct keys — the key is exact, never lossy.
     pub fn prep_key(&self) -> String {
@@ -315,6 +356,9 @@ mod tests {
             repartition_every: 2,
             dist: DistConfig::comet(BltcParams::new(0.8, 3, 40, 40)),
             fault: Fault::None,
+            checkpoint_every: None,
+            deadline_s: None,
+            allow_degraded: false,
         }
     }
 
@@ -347,6 +391,12 @@ mod tests {
             kernel: KernelSpec::Gaussian { sigma: -1.0 },
         };
         assert!(s.validate().unwrap_err().contains("sigma"));
+        let mut s = base();
+        s.checkpoint_every = Some(0);
+        assert!(s.validate().unwrap_err().contains("checkpoint cadence"));
+        let mut s = base();
+        s.deadline_s = Some(-1.0);
+        assert!(s.validate().unwrap_err().contains("deadline"));
     }
 
     #[test]
@@ -355,6 +405,14 @@ mod tests {
         let mut b = base();
         b.steps = 9; // budget only — same preparation
         assert_eq!(a.prep_key(), b.prep_key());
+        // Resilience policy is not part of the preparation either: a
+        // faulted job must share bits with the clean job it reproduces.
+        let mut f = base();
+        f.fault = Fault::PanicOnceAtStep(1);
+        f.checkpoint_every = Some(1);
+        f.deadline_s = Some(9.0);
+        f.allow_degraded = true;
+        assert_eq!(a.prep_key(), f.prep_key());
         let mut c = base();
         c.seed = 8;
         assert_ne!(a.prep_key(), c.prep_key());

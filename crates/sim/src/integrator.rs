@@ -148,7 +148,7 @@ impl StepReport {
 /// ([`TrafficMatrix::accumulate`]), so the cumulative matrix reconciles
 /// exactly against the summed per-step tallies:
 /// `traffic.total_remote_bytes() == rma_bytes` always.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Velocity-Verlet steps taken.
     pub steps: u64,

@@ -99,6 +99,6 @@ mod state;
 
 pub use forces::ForceModel;
 pub use integrator::{Integrator, SimConfig, SimReport, StepReport};
-pub use persistent::{PersistentIntegrator, WorldReuse};
+pub use persistent::{Checkpoint, PersistentIntegrator, RestoreCost, WorldReuse};
 pub use scenario::{electrolyte_box, plummer_sphere};
 pub use state::SimState;

@@ -126,6 +126,69 @@ pub struct WorldReuse {
     pub partition: Option<RcbPartition>,
 }
 
+/// A driver-held serialization of the full rank-resident mechanical
+/// state at a step boundary: global-order particles, every auxiliary
+/// column **including the cached accelerations**, the ownership layout,
+/// the integrator clock, and the cumulative report. Taken with
+/// [`PersistentIntegrator::checkpoint`], consumed by
+/// [`PersistentIntegrator::restore`]; the pair round-trips bitwise —
+/// a trajectory resumed from a checkpoint is identical to one that
+/// never stopped, because the accelerations ride along (restore never
+/// re-evaluates forces) and the ownership layout reproduces the exact
+/// resident order on the fresh world.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    ps: bltc_core::particles::ParticleSet,
+    aux: Vec<Vec<f64>>,
+    ownership: Vec<Vec<usize>>,
+    step: u64,
+    time: f64,
+    report: SimReport,
+}
+
+impl Checkpoint {
+    /// Completed steps at the checkpoint.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Simulation time at the checkpoint.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The cumulative report at the checkpoint.
+    pub fn report(&self) -> &SimReport {
+        &self.report
+    }
+
+    /// The rank count the checkpoint's layout was taken on — a
+    /// checkpoint only restores onto a world of the same size (RCB
+    /// layouts are not portable across rank counts).
+    pub fn ranks(&self) -> usize {
+        self.ownership.len()
+    }
+
+    /// Global particle count.
+    pub fn n(&self) -> usize {
+        self.ps.len()
+    }
+}
+
+/// Host-model accounting of one restore, kept **out** of the
+/// [`SimReport`] deliberately: the report must stay bitwise identical
+/// to the unfaulted run's, so recovery overhead (the replacement
+/// world's spawn) is surfaced on this side channel for the supervisor's
+/// MTTR bookkeeping instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RestoreCost {
+    /// Worlds spawned for the restore (0 when a warm session was
+    /// supplied, 1 otherwise).
+    pub world_spawns: u64,
+    /// Modeled host seconds of that spawn.
+    pub spawn_host_s: f64,
+}
+
 /// A velocity-Verlet integrator over a persistent rank session. The
 /// mechanical state resides on the ranks for the whole run; the driver
 /// holds only configuration, the cumulative [`SimReport`], and the
@@ -214,6 +277,109 @@ impl PersistentIntegrator {
         this.report.initial_energy = e0;
         this.report.final_energy = e0;
         this
+    }
+
+    /// Restore a checkpoint onto a fresh (or pool-supplied warm) world
+    /// and resume exactly where [`PersistentIntegrator::checkpoint`]
+    /// left off. The ownership layout recorded in the checkpoint is
+    /// synthesized back into an [`RcbPartition`], so every rank holds
+    /// exactly the particles — in exactly the order — it held when the
+    /// checkpoint was taken; the cached accelerations ride along in the
+    /// aux columns, so no launch-time force evaluation runs and the
+    /// resumed trajectory is **bitwise identical** to one that never
+    /// stopped. The returned [`RestoreCost`] carries the replacement
+    /// world's spawn accounting; the integrator's own report continues
+    /// from the checkpoint untouched.
+    ///
+    /// The restored session restarts its epoch numbering at zero — a
+    /// chaos schedule attached afterwards sees fresh epoch indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` disagrees with the checkpoint's layout (rank
+    /// count, particle count) or fails its own validation.
+    pub fn restore(
+        cfg: SimConfig,
+        model: &ForceModel,
+        ck: &Checkpoint,
+        session: Option<Session>,
+    ) -> (Self, RestoreCost) {
+        cfg.validate(ck.ps.len());
+        assert_eq!(
+            cfg.ranks,
+            ck.ranks(),
+            "checkpoint taken on {} ranks cannot restore onto {} ranks",
+            ck.ranks(),
+            cfg.ranks
+        );
+        assert_eq!(ck.aux.len(), AUX_COLS, "checkpoint aux layout mismatch");
+        let n = ck.ps.len();
+        let mut assignment = vec![0usize; n];
+        for (rank, ids) in ck.ownership.iter().enumerate() {
+            for &id in ids {
+                assignment[id] = rank;
+            }
+        }
+        let part = RcbPartition {
+            assignment,
+            part_indices: ck.ownership.clone(),
+            // Bounding regions are a partitioner-side artifact; the
+            // resident layout is fully determined by the indices.
+            regions: Vec::new(),
+        };
+        let reused_world = session.is_some();
+        let session = FieldSession::launch_reusing(
+            &ck.ps,
+            &ck.aux,
+            cfg.ranks,
+            &cfg.dist,
+            session,
+            Some(&part),
+        );
+        let cost = if reused_world {
+            RestoreCost::default()
+        } else {
+            RestoreCost {
+                world_spawns: 1,
+                spawn_host_s: cfg.dist.host.world_spawn_seconds(n, cfg.ranks),
+            }
+        };
+        let kernel = model.kernel_shared();
+        let g0 = kernel.eval(0.0, 0.0, 0.0);
+        (
+            Self {
+                cfg,
+                session,
+                kernel,
+                sign: model.sign,
+                g0,
+                step: ck.step,
+                time: ck.time,
+                report: ck.report.clone(),
+                tracer: None,
+            },
+            cost,
+        )
+    }
+
+    /// Serialize the full resident state into a driver-held
+    /// [`Checkpoint`]: one snapshot epoch gathering particles plus all
+    /// auxiliary columns (velocities, masses, **accelerations**) and
+    /// the per-rank ownership layout, stamped with the integrator clock
+    /// and the cumulative report. Costs one epoch and one O(N) gather;
+    /// adds nothing to the report and perturbs nothing — a run that
+    /// checkpoints every step is bitwise identical to one that never
+    /// checkpoints.
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        let snap = self.session.snapshot();
+        Checkpoint {
+            ps: snap.ps,
+            aux: snap.aux,
+            ownership: snap.ownership,
+            step: self.step,
+            time: self.time,
+            report: self.report.clone(),
+        }
     }
 
     /// The cumulative run record so far.

@@ -14,7 +14,7 @@ use bltc_core::particles::ParticleSet;
 /// *inertial* mass dividing the force. For gravity the two coincide,
 /// for an electrolyte they do not — keeping them separate is what lets
 /// one integrator serve both.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimState {
     /// Positions and kernel weights (charges / masses).
     pub particles: ParticleSet,

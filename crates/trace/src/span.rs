@@ -22,6 +22,9 @@ pub enum Phase {
     Migration,
     /// Whole-job envelope (service-level).
     Job,
+    /// Injected fault or recovery episode (chaos engineering) —
+    /// observational overhead kept out of the modeled phase clocks.
+    Chaos,
 }
 
 impl Phase {
@@ -36,6 +39,7 @@ impl Phase {
             Phase::Step => "step",
             Phase::Migration => "migration",
             Phase::Job => "job",
+            Phase::Chaos => "chaos",
         }
     }
 }
@@ -55,6 +59,10 @@ pub enum Track {
     Pcie(u32),
     /// `device/{rank}/stream/{s}` — one simulated device stream.
     DeviceStream(u32, u32),
+    /// `chaos` — injected faults and recovery episodes, driver-scoped
+    /// like [`Track::Driver`] (a fault names its rank via
+    /// [`Span::target`], not via the track).
+    Chaos,
 }
 
 impl Track {
@@ -66,13 +74,15 @@ impl Track {
             Track::Nic(r) => format!("nic/{r}"),
             Track::Pcie(r) => format!("pcie/{r}"),
             Track::DeviceStream(r, s) => format!("device/{r}/stream/{s}"),
+            Track::Chaos => "chaos".to_string(),
         }
     }
 
-    /// The rank this track belongs to (`None` for the driver).
+    /// The rank this track belongs to (`None` for the driver-scoped
+    /// tracks, [`Track::Driver`] and [`Track::Chaos`]).
     pub fn rank(self) -> Option<u32> {
         match self {
-            Track::Driver => None,
+            Track::Driver | Track::Chaos => None,
             Track::Host(r) | Track::Nic(r) | Track::Pcie(r) | Track::DeviceStream(r, _) => Some(r),
         }
     }
@@ -240,8 +250,11 @@ mod tests {
         assert_eq!(Track::Pcie(7).label(), "pcie/7");
         assert_eq!(Track::DeviceStream(1, 2).label(), "device/1/stream/2");
         assert_eq!(Track::Driver.label(), "driver");
+        assert_eq!(Track::Chaos.label(), "chaos");
         assert_eq!(Track::DeviceStream(1, 2).rank(), Some(1));
         assert_eq!(Track::Driver.rank(), None);
+        assert_eq!(Track::Chaos.rank(), None);
+        assert_eq!(Phase::Chaos.label(), "chaos");
     }
 
     #[test]

@@ -38,6 +38,9 @@ fn base_spec(scenario: Scenario, n: usize, seed: u64) -> JobSpec {
         repartition_every: 2,
         dist: DistConfig::comet(BltcParams::new(0.7, 4, 80, 80)),
         fault: Fault::None,
+        checkpoint_every: None,
+        deadline_s: None,
+        allow_degraded: false,
     }
 }
 

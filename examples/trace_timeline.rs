@@ -95,6 +95,9 @@ fn main() {
         repartition_every: 2,
         dist: DistConfig::comet(BltcParams::new(0.7, 3, 60, 60)),
         fault: Fault::None,
+        checkpoint_every: None,
+        deadline_s: None,
+        allow_degraded: false,
     };
     let svc = SimService::start(ServiceConfig {
         workers: 2,
@@ -103,6 +106,7 @@ fn main() {
         max_retries: 0,
         start_paused: false,
         trace: true,
+        ..ServiceConfig::with_workers(2)
     });
     let tickets: Vec<_> = [1u64, 2, 1, 2]
         .iter()

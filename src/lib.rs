@@ -26,6 +26,12 @@
 //!   flame summaries, and fixed-bucket histograms. Tracing is bitwise
 //!   invisible to every computed result. See
 //!   `examples/trace_timeline.rs`.
+//! - [`chaos`] — deterministic chaos engineering: seeded fault plans
+//!   injected at the [`mpi_sim`] layer (rank panics, hangs, transient
+//!   RMA retries, stragglers, degraded links), checkpoint/restart
+//!   supervision with exponential backoff, and MTTR accounting. A
+//!   faulted-then-recovered trajectory is bitwise identical to the
+//!   unfaulted run.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +47,7 @@
 //! assert!(err < 1e-3);
 //! ```
 
+pub use bltc_chaos as chaos;
 pub use bltc_core as core;
 pub use bltc_dist as dist;
 pub use bltc_gpu as gpu;

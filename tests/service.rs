@@ -37,6 +37,9 @@ fn plummer(n: usize, seed: u64, ranks: usize, steps: u64) -> JobSpec {
         repartition_every: 2,
         dist: dist_cfg(),
         fault: Fault::None,
+        checkpoint_every: None,
+        deadline_s: None,
+        allow_degraded: false,
     }
 }
 
@@ -180,7 +183,7 @@ fn tenants_are_bitwise_invisible_across_pool_and_tenant_mixes() {
                 cache_capacity: 16,
                 max_retries: 0,
                 start_paused: false,
-                trace: false,
+                ..ServiceConfig::with_workers(workers)
             });
             let tickets: Vec<_> = (0..tenants)
                 .map(|t| svc.submit(t as TenantId, specs[t]).expect("admitted"))
@@ -233,8 +236,7 @@ fn mid_run_tenant_panic_does_not_perturb_survivors() {
         queue_depth: 8,
         cache_capacity: 8,
         max_retries: 0,
-        start_paused: false,
-        trace: false,
+        ..ServiceConfig::with_workers(2)
     });
     let bad = svc.submit(99, doomed).expect("admitted");
     let good: Vec<_> = survivors
@@ -255,6 +257,7 @@ fn mid_run_tenant_panic_does_not_perturb_survivors() {
             assert!(message.contains("injected tenant fault"), "got: {message}");
         }
         Ok(_) => panic!("the faulted job must fail"),
+        Err(other) => panic!("expected Panicked, got {other}"),
     }
     for (t, ticket) in good.into_iter().enumerate() {
         let out = ticket.wait().expect("survivors complete");
@@ -436,7 +439,7 @@ proptest! {
             cache_capacity: 8,
             max_retries: 0,
             start_paused: true,
-            trace: false,
+            ..ServiceConfig::with_workers(2)
         });
         let mut tickets = Vec::new();
         for (i, spec) in specs.iter().enumerate() {

@@ -293,6 +293,9 @@ fn service_traces_partition_by_tenant_with_no_leakage() {
         repartition_every: 4,
         dist,
         fault: Fault::None,
+        checkpoint_every: None,
+        deadline_s: None,
+        allow_degraded: false,
     };
     let svc = SimService::start(ServiceConfig {
         workers: 2,
@@ -301,6 +304,7 @@ fn service_traces_partition_by_tenant_with_no_leakage() {
         max_retries: 0,
         start_paused: false,
         trace: true,
+        ..ServiceConfig::with_workers(2)
     });
     let tenants: [TenantId; 4] = [1, 2, 1, 2];
     let tickets: Vec<_> = tenants
